@@ -1,0 +1,103 @@
+"""Ablation: GACT-X tile size, overlap, and Y-drop.
+
+Sweeps the three extension parameters around the paper's defaults
+(T_e=1920, O=128, Y=9430) on anchors from the distant pair, reporting
+matched base pairs and DP cells (the traceback-memory/throughput cost).
+Shapes: larger Y bridges longer gaps (more matched bp, more cells);
+the default operating point sits on the knee.
+"""
+
+import pytest
+
+from repro.core import (
+    DarwinWGAConfig,
+    ExtensionParams,
+    gact_x_extend,
+    gapped_filter,
+)
+from repro.seed import SeedIndex, dsoft_seed
+
+from .conftest import print_table
+
+MAX_ANCHORS = 8
+
+
+def collect_anchors(run):
+    config = DarwinWGAConfig()
+    target = run.pair.target.genome
+    query = run.pair.query.genome
+    index = SeedIndex.build(target, config.seed)
+    seeding = dsoft_seed(index, query, config.dsoft)
+    filtered = gapped_filter(
+        target,
+        query,
+        seeding.target_positions,
+        seeding.query_positions,
+        config.scoring,
+        config.filtering,
+    )
+    anchors = sorted(filtered.anchors, key=lambda a: -a.filter_score)
+    return target, query, anchors[:MAX_ANCHORS]
+
+
+def extend_all(target, query, anchors, scoring, params):
+    matched = 0
+    cells = 0
+    for anchor in anchors:
+        result = gact_x_extend(target, query, anchor, scoring, params)
+        if result.alignment is not None:
+            matched += result.alignment.matches
+        cells += result.cells
+    return matched, cells
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gactx_parameters(benchmark, distant_run):
+    scoring = DarwinWGAConfig().scoring
+
+    def evaluate():
+        target, query, anchors = collect_anchors(distant_run)
+        assert anchors
+        sweeps = {}
+        sweeps["ydrop"] = [
+            (y, *extend_all(
+                target, query, anchors, scoring,
+                ExtensionParams(ydrop=y, threshold=1000),
+            ))
+            for y in (500, 2000, 9430, 20000)
+        ]
+        sweeps["tile"] = [
+            (t, *extend_all(
+                target, query, anchors, scoring,
+                ExtensionParams(tile_size=t, overlap=64, threshold=1000),
+            ))
+            for t in (256, 960, 1920)
+        ]
+        sweeps["overlap"] = [
+            (o, *extend_all(
+                target, query, anchors, scoring,
+                ExtensionParams(overlap=o, threshold=1000),
+            ))
+            for o in (0, 128, 512)
+        ]
+        return sweeps
+
+    sweeps = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    for name, series in sweeps.items():
+        print_table(
+            f"Ablation: GACT-X {name} sweep (distant pair)",
+            [name, "matched bp", "DP cells"],
+            [(v, m, c) for v, m, c in series],
+        )
+
+    ydrop_matched = [m for _, m, _ in sweeps["ydrop"]]
+    ydrop_cells = [c for _, _, c in sweeps["ydrop"]]
+    # Larger Y never hurts quality and always costs more computation.
+    assert ydrop_matched == sorted(ydrop_matched)
+    assert ydrop_cells == sorted(ydrop_cells)
+    # The paper default (9430) captures ~all of what Y=20000 finds.
+    assert ydrop_matched[2] >= 0.95 * ydrop_matched[3]
+    # Overlap stabilises stitching; matched bp must not collapse at O=128.
+    overlap_matched = [m for _, m, _ in sweeps["overlap"]]
+    assert overlap_matched[1] >= 0.8 * max(overlap_matched)

@@ -1,0 +1,78 @@
+"""Ablation: array provisioning vs DRAM bandwidth (paper section VI-A).
+
+The paper provisions the ASIC's BSW/GACT-X array counts so that DRAM
+bandwidth — not compute — is the bottleneck, and notes performance could
+scale further with GDDR/HBM.  This harness sweeps the BSW array count,
+schedules a filter-tile stream onto the arrays, generates the DRAM trace,
+and reports when demand crosses the sustainable bandwidth of the four
+DDR4-2400 channels.
+"""
+
+import pytest
+
+from repro.hw import (
+    BswArrayModel,
+    DramSystem,
+    SystolicArrayConfig,
+    bandwidth_bound_tiles_per_sec,
+    bsw_tile_bytes,
+    schedule_tiles,
+)
+
+from .conftest import print_table
+
+ARRAY_COUNTS = (8, 16, 32, 64, 128, 256)
+TILES = 4096
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_asic_provisioning(benchmark):
+    config = SystolicArrayConfig(n_pe=64, clock_hz=1e9)
+    model = BswArrayModel(config=config, tile_size=320, band=32)
+    tile_cycles = model.tile_cycles()
+    dram = DramSystem()
+    bandwidth_ceiling = bandwidth_bound_tiles_per_sec(
+        dram, bsw_tile_bytes(320)
+    )
+
+    def sweep():
+        rows = []
+        for n_arrays in ARRAY_COUNTS:
+            result = schedule_tiles([tile_cycles] * TILES, n_arrays)
+            compute_rate = result.throughput_tiles_per_sec(config.clock_hz)
+            effective = min(compute_rate, bandwidth_ceiling)
+            rows.append(
+                (
+                    n_arrays,
+                    compute_rate,
+                    effective,
+                    compute_rate >= bandwidth_ceiling,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "Ablation: BSW array count vs DRAM ceiling "
+        f"({bandwidth_ceiling / 1e6:.0f}M tiles/s sustainable)",
+        ["arrays", "compute Mtiles/s", "effective Mtiles/s", "DRAM-bound"],
+        [
+            (n, f"{c / 1e6:.1f}", f"{e / 1e6:.1f}", bound)
+            for n, c, e, bound in rows
+        ],
+    )
+
+    compute = [c for _, c, _, _ in rows]
+    effective = [e for _, _, e, _ in rows]
+    # Compute throughput scales ~linearly with arrays...
+    assert compute[-1] > 10 * compute[0]
+    # ...but effective throughput hits the DRAM ceiling: the last point
+    # is clipped below its compute rate and scaling has stalled (arrays
+    # doubled, effective gain well under 2x).
+    assert effective[-1] < compute[-1]
+    assert effective[-1] / effective[-2] < 1.5
+    # The paper's 64-array point sits below the DRAM bound (compute
+    # limited but within ~2x of the ceiling it provisions against).
+    idx64 = ARRAY_COUNTS.index(64)
+    assert effective[idx64] >= 0.4 * effective[-1]

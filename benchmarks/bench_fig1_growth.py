@@ -1,0 +1,56 @@
+"""Figure 1: growth of genome assemblies and WGA species pairs.
+
+The paper's motivation figure plots the cumulative number of genome
+assemblies in the NCBI database by year (1a) and the quadratic number of
+species pairs available for WGA (1b).  Assembly counts per year are
+embedded below (approximate public NCBI eukaryote totals of the paper's
+era); the pair series is ``n * (n - 1) / 2``.
+"""
+
+import pytest
+
+from .conftest import print_table
+
+#: (year, cumulative eukaryotic assemblies) — NCBI genome database trend.
+ASSEMBLY_COUNTS = (
+    (2000, 3),
+    (2002, 12),
+    (2004, 40),
+    (2006, 110),
+    (2008, 250),
+    (2010, 520),
+    (2012, 1100),
+    (2014, 2300),
+    (2016, 4700),
+    (2018, 8800),
+)
+
+
+def species_pairs(assemblies: int) -> int:
+    """Possible pairwise WGAs among ``assemblies`` genomes (Figure 1b)."""
+    return assemblies * (assemblies - 1) // 2
+
+
+def build_series():
+    return [
+        (year, count, species_pairs(count))
+        for year, count in ASSEMBLY_COUNTS
+    ]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_database_growth(benchmark):
+    series = benchmark(build_series)
+    print_table(
+        "Figure 1: NCBI genome database growth",
+        ["year", "assemblies (1a)", "species pairs (1b)"],
+        series,
+    )
+    # The motivating claims: assemblies grow super-linearly and the pair
+    # count grows quadratically, crossing 10M pairs by 2018.
+    counts = [row[1] for row in series]
+    pairs = [row[2] for row in series]
+    assert all(b > a for a, b in zip(counts, counts[1:]))
+    assert pairs[-1] > 10_000_000
+    # quadratic growth: pair ratio outpaces assembly ratio
+    assert pairs[-1] / pairs[-2] > counts[-1] / counts[-2]

@@ -1,0 +1,80 @@
+"""Figure 2: distribution of ungapped alignment block sizes.
+
+The paper plots the lengths of gap-free alignment blocks in the top-10
+chains of a close pair (human-chimp: indels every ~641 bp) and a distant
+pair (human-mouse: every ~31 bp), with LASTZ's 30-match requirement as a
+red line — everything left of the line is invisible to ungapped
+filtering.  Here the close/distant synthetic pairs play those roles; the
+*shape* to reproduce is the order-of-magnitude drop in mean block length
+and the large below-cutoff fraction for the distant pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chain import (
+    block_length_histogram,
+    fraction_below,
+    ungapped_block_lengths,
+)
+
+from .conftest import print_table
+
+LASTZ_MIN_MATCHES = 30
+
+
+def block_stats(chains):
+    lengths = ungapped_block_lengths(chains, top_k=10)
+    if lengths.size == 0:
+        return lengths, 0.0, 0.0
+    return lengths, float(np.mean(lengths)), fraction_below(
+        lengths, LASTZ_MIN_MATCHES
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_ungapped_block_distribution(benchmark, pair_runs):
+    close, distant = pair_runs[0], pair_runs[-1]
+
+    def compute():
+        return (
+            block_stats(close.darwin_chains),
+            block_stats(distant.darwin_chains),
+        )
+
+    (close_stats, distant_stats) = benchmark(compute)
+    close_lengths, close_mean, close_below = close_stats
+    distant_lengths, distant_mean, distant_below = distant_stats
+
+    rows = [
+        (
+            close.name,
+            f"{close.distance:.2f}",
+            close_lengths.size,
+            f"{close_mean:.1f}",
+            f"{close_below:.1%}",
+        ),
+        (
+            distant.name,
+            f"{distant.distance:.2f}",
+            distant_lengths.size,
+            f"{distant_mean:.1f}",
+            f"{distant_below:.1%}",
+        ),
+    ]
+    print_table(
+        "Figure 2: ungapped block lengths in top-10 chains "
+        f"(red line at {LASTZ_MIN_MATCHES} bp)",
+        ["pair", "dist", "blocks", "mean len", "< 30bp"],
+        rows,
+    )
+    counts, edges = block_length_histogram(distant_lengths)
+    print("distant-pair histogram (log bins):")
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        print(f"  [{lo:>6}, {hi:>6}): {count}")
+
+    # Paper shapes: distant pairs have far shorter ungapped blocks, and a
+    # much larger fraction falls below the ungapped-filter line.
+    assert distant_mean < close_mean
+    assert distant_below > close_below
+    assert distant_below > 0.3

@@ -1,0 +1,85 @@
+"""Figure 8: phylogenetic distances and trees from WGA output.
+
+The paper reports PHAST distances between its species (Figure 8).  Here
+four synthetic species are evolved from a common ancestor along a known
+tree; each pair is aligned with Darwin-WGA, the K80 distance is estimated
+from the alignments, and a neighbour-joining tree is rebuilt.  Shape to
+reproduce: the estimated distances recover the planted branch-length
+ordering and the NJ topology groups the correct sister species.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DarwinWGA
+from repro.genome import EvolutionParams, evolve
+from repro.genome.synthesis import markov_genome
+from repro.phylo import estimate_distance, neighbour_joining, tree_distance
+
+from .conftest import print_table
+
+GENOME = 15000
+
+
+def make_clade():
+    """Four species on a known tree: ((A,B),(C,D)) with short/long arms."""
+    rng = np.random.default_rng(88)
+    root = markov_genome(GENOME, rng, name="root")
+
+    def branch(seq, distance, name):
+        params = EvolutionParams(
+            distance=distance, indel_per_substitution=0.02
+        )
+        return evolve(seq, [], params, rng, name=name).genome
+
+    left = branch(root, 0.15, "left")
+    right = branch(root, 0.15, "right")
+    return {
+        "A": branch(left, 0.05, "A"),
+        "B": branch(left, 0.05, "B"),
+        "C": branch(right, 0.10, "C"),
+        "D": branch(right, 0.10, "D"),
+    }
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_phylogeny(benchmark):
+    def evaluate():
+        species = make_clade()
+        names = sorted(species)
+        aligner = DarwinWGA()
+        n = len(names)
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                result = aligner.align(species[names[i]], species[names[j]])
+                d = estimate_distance(
+                    species[names[i]], species[names[j]], result.alignments
+                )
+                matrix[i, j] = matrix[j, i] = d
+        return names, matrix
+
+    names, matrix = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    rows = [
+        (names[i], names[j], f"{matrix[i, j]:.3f}")
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    print_table(
+        "Figure 8: estimated pairwise distances (subs/site)",
+        ["species 1", "species 2", "K80 distance"],
+        rows,
+    )
+    tree = neighbour_joining(names, matrix)
+    print("NJ tree:", tree.newick())
+
+    idx = {name: i for i, name in enumerate(names)}
+    # Sister pairs are closer than cross-clade pairs.
+    assert matrix[idx["A"], idx["B"]] < matrix[idx["A"], idx["C"]]
+    assert matrix[idx["C"], idx["D"]] < matrix[idx["B"], idx["D"]]
+    # Planted A-B distance ~0.10, A-C ~0.55: recover within tolerance.
+    assert matrix[idx["A"], idx["B"]] == pytest.approx(0.10, rel=0.4)
+    assert matrix[idx["A"], idx["C"]] == pytest.approx(0.55, rel=0.4)
+    # NJ keeps sisters together: patristic distance A-B < A-C.
+    assert tree_distance(tree, "A", "B") < tree_distance(tree, "A", "C")

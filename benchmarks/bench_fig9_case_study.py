@@ -1,0 +1,123 @@
+"""Figure 9: a biologically significant alignment rescued by gapped
+filtering.
+
+The paper's browser shot shows a single-exon gene whose dm6-dp4 alignment
+is found by Darwin-WGA but missed by LASTZ: the region contains seed hits
+flanked by indels, so ungapped extension dies while banded Smith-Waterman
+crosses the gaps.  The harness looks for TBLASTX-confirmed exons covered
+by Darwin-WGA chains but absent from LASTZ chains and reports the
+base-level statistics of the rescued region (length, identity, gap
+structure) like the paper's Figure 9b.
+"""
+
+import pytest
+
+from repro.annotate import find_orthologous_exons, uncovered_exons
+
+from .conftest import print_table
+
+
+def rescued_exons(run):
+    target = run.pair.target.genome
+    confirmed = [
+        hit.exon
+        for hit in find_orthologous_exons(
+            target, run.pair.target.exons, run.pair.query.genome
+        )
+    ]
+    missed_by_lastz = {
+        (e.start, e.end)
+        for e in uncovered_exons(run.lastz_chains, confirmed, len(target))
+    }
+    covered_by_darwin = {
+        (e.start, e.end) for e in confirmed
+    } - {
+        (e.start, e.end)
+        for e in uncovered_exons(run.darwin_chains, confirmed, len(target))
+    }
+    return confirmed, sorted(missed_by_lastz & covered_by_darwin)
+
+
+def region_stats(run, start, end):
+    """Darwin-WGA block stats over the rescued target interval."""
+    for chain in run.darwin_chains:
+        for block in chain.blocks:
+            if block.target_start < end and start < block.target_end:
+                overlap_start = max(start, block.target_start)
+                overlap_end = min(end, block.target_end)
+                return (
+                    block.target_end - block.target_start,
+                    block.identity(),
+                    len(block.cigar.gap_runs()),
+                    overlap_end - overlap_start,
+                )
+    return None
+
+
+def _extra_runs():
+    """Additional distant pairs, scanned until a rescue event appears.
+
+    A 30 kb mosaic genome holds only ~14 exons, so whether a specific
+    draw contains a LASTZ-missed-but-TBLASTX-confirmed exon is a coin
+    flip; the paper finds its Figure 9 example in a 137 Mbp genome.
+    Scanning a handful of seeds plays the role of that extra scale.
+    """
+    from .conftest import PAIR_MODEL, _run_pair
+
+    for seed in range(60, 72):
+        yield _run_pair(f"extra-{seed}", 1.32, seed)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_rescued_alignment(benchmark, pair_runs):
+    def evaluate():
+        found = []
+
+        def scan(run):
+            confirmed, rescued = rescued_exons(run)
+            for start, end in rescued:
+                stats = region_stats(run, start, end)
+                if stats is not None:
+                    found.append((run.name, start, end, stats))
+
+        for run in pair_runs[::-1]:  # most distant pairs first
+            scan(run)
+        if not found:
+            for run in _extra_runs():
+                scan(run)
+                if found:
+                    break
+        return found
+
+    found = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    rows = [
+        (
+            name,
+            f"[{start}, {end})",
+            stats[0],
+            f"{stats[1]:.1%}",
+            stats[2],
+            stats[3],
+        )
+        for name, start, end, stats in found
+    ]
+    print_table(
+        "Figure 9: exons aligned by Darwin-WGA but missed by LASTZ",
+        [
+            "pair",
+            "exon (target)",
+            "block len",
+            "identity",
+            "gap runs",
+            "exon bp aligned",
+        ],
+        rows,
+    )
+
+    # The paper's phenomenon must exist: at least one confirmed exon is
+    # covered by Darwin-WGA chains and missed by LASTZ chains, and the
+    # rescuing alignment contains gaps (which is why ungapped filtering
+    # dropped it).
+    assert found, "no rescued exon found - gapped filtering shows no gain"
+    assert any(stats[2] >= 1 for _, _, _, stats in found)

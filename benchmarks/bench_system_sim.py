@@ -1,0 +1,66 @@
+"""Cross-check: event-driven system simulation vs the analytic cost model.
+
+The Table V numbers come from closed-form throughput arithmetic; this
+harness replays the same (scaled) workload through the whole-accelerator
+simulator — list-scheduled arrays, recorded GACT-X row windows, shared
+DRAM — and checks the two agree on runtime within a small factor, plus
+reports FPGA filter-stream bandwidth against the paper's ~2.1 GB/s.
+"""
+
+import pytest
+
+from repro.hw import CostModel, FpgaPlatform, scale_workload, simulate
+
+from .conftest import GENOME_LENGTH, print_table
+
+SCALE = 1.0e6 / GENOME_LENGTH  # modest scale keeps the sim fast
+
+
+@pytest.mark.benchmark(group="system")
+def test_system_simulation_matches_cost_model(benchmark, distant_run):
+    workload = scale_workload(distant_run.darwin.workload, SCALE)
+    platform = FpgaPlatform()
+    model = CostModel.default()
+
+    def run():
+        return simulate(workload, platform)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = model.fpga_runtime(workload)
+
+    rows = [
+        (
+            "filter",
+            f"{report.filter.makespan_seconds:.3g}",
+            f"{analytic.filtering:.3g}",
+            f"{report.filter.utilisation:.2f}",
+            f"{report.filter.bandwidth_bytes_per_sec / 1e9:.2f} GB/s",
+        ),
+        (
+            "extension",
+            f"{report.extension.makespan_seconds:.3g}",
+            f"{analytic.extension:.3g}",
+            f"{report.extension.utilisation:.2f}",
+            f"{report.extension.bandwidth_bytes_per_sec / 1e6:.2f} MB/s",
+        ),
+    ]
+    print_table(
+        "System simulation vs analytic cost model (FPGA, scaled workload)",
+        ["stage", "simulated (s)", "analytic (s)", "utilisation", "bandwidth"],
+        rows,
+    )
+    print(
+        f"concurrent runtime {report.runtime_seconds:.3g} s, "
+        f"DRAM demand {report.bandwidth_fraction:.1%} of sustainable, "
+        f"dram_bound={report.dram_bound}"
+    )
+
+    # The two models must agree on the filter stage within ~2x (the
+    # analytic model adds a DRAM cap; the simulator adds scheduling gaps).
+    assert report.filter.makespan_seconds == pytest.approx(
+        analytic.filtering, rel=1.0
+    )
+    # Arrays are fully utilised on a uniform tile stream.
+    assert report.filter.utilisation > 0.9
+    # Paper: ~2.1 GB/s filter streaming bandwidth on the FPGA.
+    assert 1.0e9 < report.filter.bandwidth_bytes_per_sec < 3.5e9

@@ -1,0 +1,84 @@
+"""Table III: sensitivity of Darwin-WGA vs LASTZ on four species pairs.
+
+Reproduces all three metrics of the paper's Table III:
+
+* average top-10 chain score improvement (paper: +0.03% .. +5.73%),
+* matched base pairs in all chains (paper ratios: 1.25x .. 3.12x),
+* orthologous exon counts: mini-TBLASTX total, per-aligner coverage.
+
+Expected shapes: Darwin-WGA >= LASTZ on every metric, improvements
+growing with phylogenetic distance.
+"""
+
+import pytest
+
+from repro.annotate import exon_coverage, find_orthologous_exons
+from repro.chain import compare
+
+from .conftest import print_table
+
+
+def sensitivity_row(run):
+    comparison = compare(run.lastz_chains, run.darwin_chains)
+    target = run.pair.target.genome
+    confirmed = find_orthologous_exons(
+        target, run.pair.target.exons, run.pair.query.genome
+    )
+    exons = [hit.exon for hit in confirmed]
+    lastz_cov = exon_coverage(run.lastz_chains, exons, len(target))
+    darwin_cov = exon_coverage(run.darwin_chains, exons, len(target))
+    return comparison, len(exons), lastz_cov, darwin_cov
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sensitivity(benchmark, pair_runs):
+    results = benchmark.pedantic(
+        lambda: [sensitivity_row(run) for run in pair_runs],
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for run, (cmp_result, total, lastz_cov, darwin_cov) in zip(
+        pair_runs, results
+    ):
+        rows.append(
+            (
+                run.name,
+                f"{run.distance:.2f}",
+                f"{cmp_result.top_score_gain:+.2%}",
+                cmp_result.baseline_matches,
+                cmp_result.improved_matches,
+                f"({cmp_result.match_ratio:.2f}x)",
+                total,
+                lastz_cov.covered_exons,
+                darwin_cov.covered_exons,
+            )
+        )
+    print_table(
+        "Table III: sensitivity comparison",
+        [
+            "pair",
+            "dist",
+            "top-10 gain",
+            "LASTZ bp",
+            "Darwin bp",
+            "ratio",
+            "exons(TBLASTX)",
+            "LASTZ",
+            "Darwin-WGA",
+        ],
+        rows,
+    )
+
+    ratios = [r[0].match_ratio for r in results]
+    # Paper shape 1: Darwin-WGA never loses matched base pairs.
+    for ratio in ratios:
+        assert ratio >= 0.9
+    # Paper shape 2: the improvement grows with phylogenetic distance —
+    # the most distant pair gains clearly, the closest is near parity.
+    assert ratios[-1] > 1.1
+    assert ratios[-1] > ratios[0] - 0.05
+    # Paper shape 3: exon coverage at least matches LASTZ everywhere.
+    for _, _, lastz_cov, darwin_cov in results:
+        assert darwin_cov.covered_exons >= lastz_cov.covered_exons

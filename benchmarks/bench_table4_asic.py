@@ -1,0 +1,54 @@
+"""Table IV: ASIC area and power breakdown (TSMC 40 nm, 1 GHz).
+
+The component model is calibrated so the paper's provisioning (64 BSW
+arrays, 12 GACT-X arrays of 64 PEs, 16 KB traceback SRAM per PE, 4 DDR4
+channels) reproduces the published totals: ~35.92 mm^2 and ~43.34 W.  The
+benchmark also sweeps provisioning to show how the estimate scales.
+"""
+
+import pytest
+
+from repro.hw import asic_estimate
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_asic_breakdown(benchmark):
+    estimate = benchmark(asic_estimate)
+    print()
+    print(estimate.table())
+
+    by_name = {c.name: c for c in estimate.components}
+    assert estimate.area_mm2 == pytest.approx(35.92, abs=0.1)
+    assert estimate.power_w == pytest.approx(43.34, abs=1.0)
+    # BSW arrays dominate logic area and consume ~60% of chip power.
+    logic_power = (
+        by_name["BSW Logic"].power_w + by_name["GACT-X Logic"].power_w
+    )
+    assert by_name["BSW Logic"].power_w > 0.55 * estimate.power_w
+    assert by_name["BSW Logic"].area_mm2 > by_name["GACT-X Logic"].area_mm2
+    # GACT-X's traceback SRAM takes up nearly half the chip area.
+    assert by_name["Traceback SRAM"].area_mm2 > 0.4 * estimate.area_mm2
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_provisioning_sweep(benchmark):
+    def sweep():
+        return [
+            (bsw, gactx, asic_estimate(bsw_arrays=bsw, gactx_arrays=gactx))
+            for bsw, gactx in ((32, 6), (64, 12), (128, 24))
+        ]
+
+    results = benchmark(sweep)
+    rows = [
+        (bsw, gactx, f"{e.area_mm2:.2f}", f"{e.power_w:.2f}")
+        for bsw, gactx, e in results
+    ]
+    print_table(
+        "Table IV sweep: arrays vs area/power",
+        ["BSW arrays", "GACT-X arrays", "area (mm2)", "power (W)"],
+        rows,
+    )
+    areas = [e.area_mm2 for _, _, e in results]
+    assert areas[0] < areas[1] < areas[2]

@@ -1,0 +1,101 @@
+"""Table V: runtime and performance comparison across platforms.
+
+For each species pair the harness reports the paper's columns: the
+(modelled) LASTZ runtime, the per-stage Darwin-WGA workload (seeds,
+filter tiles, extension tiles), the iso-sensitive software runtime
+(``filter_tiles / 225K tiles/s``, the paper's estimation method), the
+FPGA and ASIC modelled runtimes, and the two improvement metrics:
+performance/$ for the FPGA and performance/W for the ASIC, both against
+iso-sensitive software.
+
+Workloads are measured on the synthetic pairs and then extrapolated to
+the paper's ~100 Mbp genome scale with :func:`repro.hw.scale_workload`
+(seed hits and filter tiles grow quadratically with genome length,
+extension tiles linearly) — this is what produces the paper's
+filter-dominated workload shape and its headline improvement bands
+(FPGA: 19-24x perf/$; ASIC: ~1,500x perf/W).
+"""
+
+import pytest
+
+from repro.hw import CostModel, scale_workload
+
+from .conftest import GENOME_LENGTH, print_table
+
+#: The paper's genomes are ~100-140 Mbp; scale the synthetic workloads up.
+PAPER_GENOME_LENGTH = 100e6
+SCALE_FACTOR = PAPER_GENOME_LENGTH / GENOME_LENGTH
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_performance(benchmark, pair_runs):
+    model = CostModel.default()
+
+    def evaluate():
+        rows = []
+        for run in pair_runs:
+            workload = scale_workload(run.darwin.workload, SCALE_FACTOR)
+            lastz_workload = scale_workload(
+                run.lastz.workload, SCALE_FACTOR
+            )
+            rows.append(
+                (
+                    run,
+                    workload,
+                    model.lastz_runtime(lastz_workload).total,
+                    model.iso_software_runtime(workload),
+                    model.fpga_runtime(workload).total,
+                    model.asic_runtime(workload).total,
+                    model.fpga_perf_per_dollar_improvement(workload),
+                    model.asic_perf_per_watt_improvement(workload),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = []
+    for run, w, lastz_s, iso_s, fpga_s, asic_s, perf_d, perf_w in rows:
+        table.append(
+            (
+                run.name,
+                f"{lastz_s:.3g}",
+                f"{w.seed_hits:.2e}",
+                f"{w.filter_tiles:.2e}",
+                f"{w.extension_tiles:.2e}",
+                f"{iso_s:.3g}",
+                f"{fpga_s:.3g}",
+                f"{asic_s:.3g}",
+                f"{perf_d:.1f}x",
+                f"{perf_w:.0f}x",
+            )
+        )
+    print_table(
+        "Table V: runtimes (s) at paper genome scale "
+        f"(workloads x{SCALE_FACTOR:.0f} quadratic/linear)",
+        [
+            "pair",
+            "LASTZ",
+            "seeds",
+            "filter tiles",
+            "ext tiles",
+            "iso s/w",
+            "FPGA",
+            "ASIC",
+            "perf/$ (FPGA)",
+            "perf/W (ASIC)",
+        ],
+        table,
+    )
+
+    for run, w, lastz_s, iso_s, fpga_s, asic_s, perf_d, perf_w in rows:
+        # Paper shape: a large slowdown from LASTZ to iso-sensitive
+        # software (paper: ~200x on average; our synthetic seed-hit
+        # density gives the same order of magnitude).
+        assert iso_s > 10 * lastz_s
+        # Hardware ordering and improvement bands around the paper's
+        # 19-24x (FPGA perf/$) and ~1,500x (ASIC perf/W).
+        assert fpga_s < iso_s
+        assert asic_s < fpga_s
+        assert 8 < perf_d < 60
+        assert 400 < perf_w < 6000

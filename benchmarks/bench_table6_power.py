@@ -1,0 +1,24 @@
+"""Table VI: platform power (CPU vs FPGA vs ASIC, DRAM included)."""
+
+import pytest
+
+from repro.hw import CPU_POWER_W, FPGA_POWER_W, asic_power_w
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_platform_power(benchmark):
+    asic = benchmark(asic_power_w)
+    rows = [
+        ("CPU (c4.8xlarge)", f"{CPU_POWER_W:.0f}"),
+        ("FPGA (Virtex UltraScale+)", f"{FPGA_POWER_W:.0f}"),
+        ("ASIC (TSMC 40nm)", f"{asic:.0f}"),
+    ]
+    print_table("Table VI: platform power (W)", ["platform", "power"], rows)
+
+    # Paper: 215 W > 65 W > 43 W; the ASIC is ~5x below the CPU.
+    assert CPU_POWER_W == 215
+    assert FPGA_POWER_W == 65
+    assert asic == pytest.approx(43.34, abs=1.0)
+    assert CPU_POWER_W / asic > 4.5

@@ -1,0 +1,80 @@
+"""Project a WGA workload onto the FPGA and ASIC accelerators.
+
+Runs the Darwin-WGA pipeline on a synthetic pair, then feeds the recorded
+per-stage workload (seed hits, filter tiles, extension tile traces) into
+the hardware models: cycle-level BSW/GACT-X array throughput, DRAM
+bandwidth ceilings, the Table IV area/power estimate, and the paper's
+cost metrics — iso-sensitive software runtime, FPGA performance/$, and
+ASIC performance/W.
+
+Run:  python examples/hardware_projection.py
+"""
+
+import numpy as np
+
+from repro import CostModel, DarwinWGA, make_species_pair
+from repro.hw import (
+    BswArrayModel,
+    GactXArrayModel,
+    asic_estimate,
+    default_asic,
+    default_fpga,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    pair = make_species_pair(
+        30_000, 0.8, rng, alignable_fraction=0.35
+    )
+    print("Aligning a 30 kb synthetic pair (0.8 subs/site)...")
+    result = DarwinWGA().align(pair.target.genome, pair.query.genome)
+    workload = result.workload
+    print(f"  filter tiles: {workload.filter_tiles:,}  "
+          f"extension tiles: {workload.extension_tiles:,}")
+
+    fpga = default_fpga()
+    asic = default_asic()
+    bsw_fpga = fpga.bsw_model()
+    bsw_asic = asic.bsw_model()
+    print("\nArray throughput (cycle model):")
+    print(f"  FPGA BSW : {bsw_fpga.tile_cycles()} cycles/tile -> "
+          f"{bsw_fpga.tiles_per_second() * fpga.bsw_arrays / 1e6:.2f}M "
+          f"tiles/s across {fpga.bsw_arrays} arrays (paper: 6.25M)")
+    print(f"  ASIC BSW : {bsw_asic.tile_cycles()} cycles/tile -> "
+          f"{bsw_asic.tiles_per_second() * asic.bsw_arrays / 1e6:.1f}M "
+          f"tiles/s across {asic.bsw_arrays} arrays (paper: 70M)")
+    gactx = GactXArrayModel(config=asic.array_config)
+    traces = workload.extension_tile_traces
+    if traces:
+        print(f"  ASIC GACT-X: "
+              f"{gactx.mean_tiles_per_second(traces) * asic.gactx_arrays / 1e3:.1f}K "
+              f"tiles/s on this workload (paper: 300K)")
+        print(f"  peak traceback memory: "
+              f"{gactx.peak_pointer_bytes(traces) / 1024:.1f} KB "
+              f"(budget {gactx.traceback_sram_bytes / 1024:.0f} KB/array)")
+
+    model = CostModel.default()
+    iso = model.iso_software_runtime(workload)
+    fpga_rt = model.fpga_runtime(workload)
+    asic_rt = model.asic_runtime(workload)
+    print("\nModelled runtimes for this workload:")
+    print(f"  iso-sensitive software : {iso:.3e} s")
+    print(f"  Darwin-WGA FPGA        : {fpga_rt.total:.3e} s "
+          f"(seed {fpga_rt.seeding:.2e} / filter {fpga_rt.filtering:.2e} "
+          f"/ extend {fpga_rt.extension:.2e})")
+    print(f"  Darwin-WGA ASIC        : {asic_rt.total:.3e} s")
+    print(f"\nImprovements vs iso-sensitive software:")
+    print(f"  FPGA performance/$     : "
+          f"{model.fpga_perf_per_dollar_improvement(workload):.1f}x "
+          f"(paper: 19-24x)")
+    print(f"  ASIC performance/W     : "
+          f"{model.asic_perf_per_watt_improvement(workload):.0f}x "
+          f"(paper: ~1,500x)")
+
+    print("\nASIC area/power breakdown (Table IV):")
+    print(asic_estimate().table())
+
+
+if __name__ == "__main__":
+    main()

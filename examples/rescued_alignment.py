@@ -1,0 +1,100 @@
+"""Figure 9 case study: an exon rescued by gapped filtering.
+
+Searches a distant synthetic pair for TBLASTX-confirmed orthologous exons
+that Darwin-WGA's chains cover but the LASTZ-like baseline misses, then
+prints the base-level anatomy of one rescued region — alignment length,
+identity, and the indels around the seed hits that killed the ungapped
+filter (the paper's Figure 9b).
+
+Run:  python examples/rescued_alignment.py
+"""
+
+import numpy as np
+
+from repro import DarwinWGA, LastzAligner, build_chains, make_species_pair
+from repro.annotate import find_orthologous_exons, uncovered_exons
+
+
+def find_rescued_pair(seed: int):
+    rng = np.random.default_rng(seed)
+    pair = make_species_pair(
+        30_000,
+        1.3,
+        rng,
+        exon_count=14,
+        alignable_fraction=0.35,
+        island_mean_length=300,
+        island_distance_cap=0.4,
+        indel_per_substitution=0.14,
+        exon_indel_per_substitution=0.05,
+    )
+    target, query = pair.target.genome, pair.query.genome
+    darwin_chains = build_chains(DarwinWGA().align(target, query).alignments)
+    lastz_chains = build_chains(
+        LastzAligner().align(target, query).alignments
+    )
+    confirmed = [
+        hit.exon
+        for hit in find_orthologous_exons(target, pair.target.exons, query)
+    ]
+    lastz_missed = {
+        (e.start, e.end): e
+        for e in uncovered_exons(lastz_chains, confirmed, len(target))
+    }
+    darwin_missed = {
+        (e.start, e.end)
+        for e in uncovered_exons(darwin_chains, confirmed, len(target))
+    }
+    rescued = [
+        exon
+        for key, exon in lastz_missed.items()
+        if key not in darwin_missed
+    ]
+    return pair, darwin_chains, confirmed, rescued
+
+
+def describe_region(chains, exon):
+    for chain in chains:
+        for block in chain.blocks:
+            if block.target_start < exon.end and exon.start < block.target_end:
+                return block
+    return None
+
+
+def main() -> None:
+    for seed in range(200, 230):
+        pair, darwin_chains, confirmed, rescued = find_rescued_pair(seed)
+        if rescued:
+            break
+    else:
+        print("No rescued exon found in 30 seeds; increase genome size.")
+        return
+
+    print(f"Pair at 1.3 subs/site (seed {seed}): "
+          f"{len(confirmed)} TBLASTX-confirmed exons, "
+          f"{len(rescued)} rescued by gapped filtering.\n")
+    exon = rescued[0]
+    block = describe_region(darwin_chains, exon)
+    print(f"Rescued exon {exon.name}: target [{exon.start:,}, {exon.end:,})")
+    print(f"Darwin-WGA alignment block covering it:")
+    print(f"  span     : [{block.target_start:,}, {block.target_end:,}) "
+          f"({block.target_span:,} bp)")
+    print(f"  identity : {block.identity():.1%}")
+    gaps = block.cigar.gap_runs()
+    print(f"  gap runs : {len(gaps)} "
+          f"(lengths: {[length for _, length in gaps][:12]})")
+    blocks = block.cigar.ungapped_block_lengths()
+    print(f"  ungapped blocks: n={len(blocks)}, "
+          f"mean={np.mean(blocks):.1f} bp, max={max(blocks)} bp")
+    print(
+        "\nWhy LASTZ missed it: the longest gap-free run is "
+        f"{max(blocks)} bp — ungapped X-drop extension around any seed "
+        "hit in this region cannot accumulate the ~3000 score "
+        "(~30 matches) LASTZ requires before an indel cuts it off, "
+        "while a 320x(+/-32) banded Smith-Waterman tile crosses the "
+        "indels and scores the whole region (paper section VI-B, Fig 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Gapped vs ungapped filtering: the paper's Table III in miniature.
+
+Aligns species pairs at increasing phylogenetic distance with both
+Darwin-WGA (gapped filtering, banded Smith-Waterman) and the LASTZ-like
+baseline (ungapped X-drop filtering), then compares the three paper
+metrics: top-10 chain scores, matched base pairs in chains, and coverage
+of TBLASTX-confirmed orthologous exons.
+
+Run:  python examples/sensitivity_comparison.py
+"""
+
+import numpy as np
+
+from repro import DarwinWGA, LastzAligner, build_chains, make_species_pair
+from repro.annotate import exon_coverage, find_orthologous_exons
+from repro.chain import compare
+
+DISTANCES = (0.15, 0.55, 1.3)
+GENOME = 25_000
+
+
+def main() -> None:
+    header = (
+        f"{'distance':>8} {'top-10 gain':>12} {'LASTZ bp':>10} "
+        f"{'Darwin bp':>10} {'ratio':>7} {'exons':>6} "
+        f"{'LASTZ':>6} {'Darwin':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for i, distance in enumerate(DISTANCES):
+        rng = np.random.default_rng(100 + i)
+        pair = make_species_pair(
+            GENOME,
+            distance,
+            rng,
+            exon_count=12,
+            alignable_fraction=0.35,
+            island_mean_length=300,
+            island_distance_cap=0.4,
+            indel_per_substitution=0.14,
+            exon_indel_per_substitution=0.05,
+        )
+        target, query = pair.target.genome, pair.query.genome
+
+        darwin_chains = build_chains(
+            DarwinWGA().align(target, query).alignments
+        )
+        lastz_chains = build_chains(
+            LastzAligner().align(target, query).alignments
+        )
+        comparison = compare(lastz_chains, darwin_chains)
+
+        confirmed = [
+            hit.exon
+            for hit in find_orthologous_exons(
+                target, pair.target.exons, query
+            )
+        ]
+        lastz_cov = exon_coverage(lastz_chains, confirmed, len(target))
+        darwin_cov = exon_coverage(darwin_chains, confirmed, len(target))
+
+        print(
+            f"{distance:>8.2f} {comparison.top_score_gain:>+11.2%} "
+            f"{comparison.baseline_matches:>10,} "
+            f"{comparison.improved_matches:>10,} "
+            f"{comparison.match_ratio:>6.2f}x {len(confirmed):>6} "
+            f"{lastz_cov.covered_exons:>6} {darwin_cov.covered_exons:>7}"
+        )
+
+    print(
+        "\nExpected shape (paper Table III): the matched-bp ratio and the "
+        "exon-coverage gap grow\nwith phylogenetic distance — gapped "
+        "filtering wins exactly where indels fragment the\nungapped blocks "
+        "below LASTZ's ~30-match threshold."
+    )
+
+
+if __name__ == "__main__":
+    main()

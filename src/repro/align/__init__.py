@@ -1,0 +1,61 @@
+"""Alignment kernels: scoring, reference DP, banded SW, ungapped, X-drop."""
+
+from .alignment import Alignment, AnchorHit
+from .banded_sw import BswResult, band_cells, bsw_batch, bsw_tile
+from .cigar import Cigar
+from .matrices import (
+    HOXD70_MATRIX,
+    LASTZ_DEFAULT_MATRIX,
+    hoxd70,
+    lastz_default,
+    unit,
+)
+from .needleman_wunsch import align_global, global_score
+from .scoring import ScoringScheme
+from .smith_waterman import align_local, best_score, score_matrix
+from .stats import (
+    ScoreStatistics,
+    bit_score,
+    estimate_k,
+    evalue,
+    expected_score,
+    gap_length_distribution,
+    karlin_lambda,
+    score_for_evalue,
+)
+from .ungapped import UngappedResult, ungapped_extend, ungapped_extend_batch
+from .xdrop import XDropExtension, xdrop_extend
+
+__all__ = [
+    "Alignment",
+    "AnchorHit",
+    "BswResult",
+    "band_cells",
+    "bsw_batch",
+    "bsw_tile",
+    "Cigar",
+    "HOXD70_MATRIX",
+    "LASTZ_DEFAULT_MATRIX",
+    "hoxd70",
+    "lastz_default",
+    "unit",
+    "align_global",
+    "global_score",
+    "ScoringScheme",
+    "align_local",
+    "best_score",
+    "score_matrix",
+    "ScoreStatistics",
+    "bit_score",
+    "estimate_k",
+    "evalue",
+    "expected_score",
+    "gap_length_distribution",
+    "karlin_lambda",
+    "score_for_evalue",
+    "UngappedResult",
+    "ungapped_extend",
+    "ungapped_extend_batch",
+    "XDropExtension",
+    "xdrop_extend",
+]

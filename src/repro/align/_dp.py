@@ -1,0 +1,217 @@
+"""Shared dynamic-programming machinery for the alignment kernels.
+
+All kernels use the affine-gap recurrences of the paper (equations 1-3)::
+
+    H(i,j) = max(V(i,j-1) - o, H(i,j-1) - e)      # gap along the target
+    U(i,j) = max(V(i-1,j) - o, U(i-1,j) - e)      # gap along the query
+    V(i,j) = max(H(i,j), U(i,j), V(i-1,j-1) + W(q_i, r_j))
+
+with rows ``i`` over the query and columns ``j`` over the target.  The
+paper calls ``H`` "insertion" and ``U`` "deletion"; CIGAR emission maps a
+horizontal move (consuming a target base) to ``D`` and a vertical move
+(consuming a query base) to ``I``, the SAM query-centric convention.
+
+Rows are computed with numpy.  The only within-row dependency is ``H``,
+which (because ``o >= e``) unrolls to a prefix maximum::
+
+    H(i,j) = max_{0 <= k < j} (V'(i,k) + k*e) - o - (j-1)*e
+
+where ``V'`` is the row value *before* considering ``H`` — so a single
+``np.maximum.accumulate`` computes the whole row.
+
+Traceback pointers are one byte per cell, mirroring the 4-bit hardware
+pointers (2 bits of direction, 2 bits of affine-gap origin).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from .cigar import Cigar
+from .scoring import ScoringScheme
+
+#: Effectively minus infinity, with headroom so ``NEG_INF + k*e`` cannot
+#: overflow or accidentally win a maximum.
+NEG_INF = np.int64(-(2**42))
+
+#: Pointer encoding (low two bits): how V was obtained.
+DIR_NONE = 0  # local zero / boundary: traceback stops
+DIR_DIAG = 1
+DIR_HORIZ = 2  # from H: gap consuming target ('D')
+DIR_VERT = 3  # from U: gap consuming query ('I')
+
+#: Pointer flags (high bits): whether the gap state extends a prior gap.
+FLAG_H_EXTEND = 4
+FLAG_U_EXTEND = 8
+
+_DIR_MASK = 3
+
+
+def boundary_scores(
+    length: int, scoring: ScoringScheme, free: bool
+) -> np.ndarray:
+    """V values along a DP boundary (row 0 or column 0), index 0..length.
+
+    ``free=True`` (local alignment) gives zeros; otherwise position ``k``
+    costs an affine gap of length ``k`` from the origin.
+    """
+    values = np.zeros(length + 1, dtype=np.int64)
+    if not free and length > 0:
+        k = np.arange(1, length + 1, dtype=np.int64)
+        values[1:] = -(scoring.gap_open + (k - 1) * scoring.gap_extend)
+    return values
+
+
+def row_update(
+    v_prev: np.ndarray,
+    u_prev: np.ndarray,
+    substitution_row: np.ndarray,
+    scoring: ScoringScheme,
+    v_boundary: np.int64,
+    local: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compute one DP row.
+
+    Args:
+        v_prev: V of the previous row, length ``m + 1`` (index 0 is the
+            left boundary of that row).
+        u_prev: U of the previous row, same shape.
+        substitution_row: substitution scores ``W(q_i, r_j)`` for
+            ``j = 1..m`` (length ``m``).
+        scoring: gap penalties.
+        v_boundary: V value of this row's column-0 boundary cell.
+        local: clamp scores at zero (Smith-Waterman) when True.
+
+    Returns:
+        ``(v_row, u_row, h_row, pointers)`` — value arrays of length
+        ``m + 1`` and a ``uint8`` pointer array of the same length
+        (index 0 is always ``DIR_NONE``).
+    """
+    o = np.int64(scoring.gap_open)
+    e = np.int64(scoring.gap_extend)
+    m = substitution_row.size
+
+    u_row = np.empty(m + 1, dtype=np.int64)
+    u_row[0] = NEG_INF
+    np.maximum(v_prev[1:] - o, u_prev[1:] - e, out=u_row[1:])
+    u_extends = u_row[1:] == u_prev[1:] - e
+
+    diag = v_prev[:-1] + substitution_row
+    v0 = np.empty(m + 1, dtype=np.int64)
+    v0[0] = v_boundary
+    np.maximum(u_row[1:], diag, out=v0[1:])
+    from_vert = v0[1:] == u_row[1:]
+    if local:
+        np.maximum(v0[1:], 0, out=v0[1:])
+
+    # Prefix-scan computation of H over the row (see module docstring).
+    k = np.arange(m + 1, dtype=np.int64)
+    running = np.maximum.accumulate(v0 + k * e)
+    h_row = np.empty(m + 1, dtype=np.int64)
+    h_row[0] = NEG_INF
+    h_row[1:] = running[:-1] - o - (k[1:] - 1) * e
+    h_extends = np.zeros(m + 1, dtype=bool)
+    if m > 1:
+        h_extends[2:] = h_row[2:] == h_row[1:-1] - e
+
+    v_row = np.maximum(v0, h_row)
+    v_row[0] = v_boundary
+    if local:
+        np.maximum(v_row, 0, out=v_row)
+
+    pointers = np.zeros(m + 1, dtype=np.uint8)
+    # Priority on ties: horizontal gap, then vertical gap, then diagonal —
+    # any consistent order yields a valid optimal path.
+    from_horiz = v_row[1:] == h_row[1:]
+    took_vert = from_vert & ~from_horiz
+    took_diag = ~from_horiz & ~took_vert & (v_row[1:] == diag)
+    dirs = np.zeros(m, dtype=np.uint8)
+    dirs[took_diag] = DIR_DIAG
+    dirs[from_horiz] = DIR_HORIZ
+    dirs[took_vert] = DIR_VERT
+    if local:
+        dirs[v_row[1:] == 0] = DIR_NONE
+    pointers[1:] = (
+        dirs
+        | (h_extends[1:].astype(np.uint8) * FLAG_H_EXTEND)
+        | (u_extends.astype(np.uint8) * FLAG_U_EXTEND)
+    )
+    return v_row, u_row, h_row, pointers
+
+
+def traceback(
+    pointers: List[np.ndarray],
+    row_offsets: List[int],
+    target: Sequence,
+    query: Sequence,
+    start_i: int,
+    start_j: int,
+    pad_to_origin: bool,
+) -> Tuple[Cigar, int, int]:
+    """Walk pointer rows from cell ``(start_i, start_j)`` back to a stop.
+
+    Args:
+        pointers: per-row pointer arrays; ``pointers[i - 1]`` covers row
+            ``i`` and its index 0 corresponds to column ``row_offsets[i-1]``.
+        row_offsets: first column (0-based cell column minus one... the
+            column index of pointer slot 0) for each row.
+        target, query: the tile sequences (0-indexed; cell ``(i, j)``
+            aligns ``query[i-1]`` with ``target[j-1]``).
+        start_i, start_j: 1-based cell to start from.
+        pad_to_origin: extension mode — when the walk reaches row 0 or
+            column 0 away from the origin, pad with gap columns so the
+            path starts exactly at ``(0, 0)``.
+
+    Returns:
+        ``(cigar, end_i, end_j)`` where the CIGAR reads forward (from the
+        path start to ``(start_i, start_j)``) and ``(end_i, end_j)`` is the
+        1-based cell *after* which the path begins (``(0, 0)`` when padded).
+    """
+    ops: List[str] = []
+    i, j = start_i, start_j
+    state = "V"
+    t_codes = target.codes
+    q_codes = query.codes
+
+    def pointer_at(row: int, col: int) -> int:
+        base = row_offsets[row - 1]
+        idx = col - base
+        row_ptrs = pointers[row - 1]
+        if idx < 0 or idx >= row_ptrs.size:
+            return DIR_NONE
+        return int(row_ptrs[idx])
+
+    while i > 0 and j > 0:
+        ptr = pointer_at(i, j)
+        if state == "V":
+            direction = ptr & _DIR_MASK
+            if direction == DIR_NONE:
+                break
+            if direction == DIR_DIAG:
+                same = t_codes[j - 1] == q_codes[i - 1] and t_codes[j - 1] < 4
+                ops.append("=" if same else "X")
+                i -= 1
+                j -= 1
+            elif direction == DIR_HORIZ:
+                state = "H"
+            else:
+                state = "U"
+        elif state == "H":
+            ops.append("D")
+            state = "H" if ptr & FLAG_H_EXTEND else "V"
+            j -= 1
+        else:  # state == "U"
+            ops.append("I")
+            state = "U" if ptr & FLAG_U_EXTEND else "V"
+            i -= 1
+
+    if pad_to_origin:
+        ops.extend("D" * j)
+        ops.extend("I" * i)
+        i = 0
+        j = 0
+
+    return Cigar.from_ops(reversed(ops)), i, j

@@ -1,0 +1,115 @@
+"""Alignment result objects shared across every pipeline stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..genome.sequence import Sequence
+from .cigar import Cigar
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A local alignment between a target and a query genome region.
+
+    Coordinates are half-open ``[start, end)`` on the forward strand of
+    each sequence.  ``strand`` is the query strand (+1/-1); for ``-1`` the
+    query coordinates refer to the reverse-complemented query, matching
+    MAF conventions.
+    """
+
+    target_name: str
+    query_name: str
+    target_start: int
+    target_end: int
+    query_start: int
+    query_end: int
+    score: int
+    cigar: Cigar
+    strand: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strand not in (1, -1):
+            raise ValueError("strand must be +1 or -1")
+        if self.target_end - self.target_start != self.cigar.target_span:
+            raise ValueError(
+                "target span does not match CIGAR "
+                f"({self.target_end - self.target_start} vs "
+                f"{self.cigar.target_span})"
+            )
+        if self.query_end - self.query_start != self.cigar.query_span:
+            raise ValueError(
+                "query span does not match CIGAR "
+                f"({self.query_end - self.query_start} vs "
+                f"{self.cigar.query_span})"
+            )
+
+    @property
+    def target_span(self) -> int:
+        return self.target_end - self.target_start
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def matches(self) -> int:
+        """Number of exactly matching base pairs."""
+        return self.cigar.matches
+
+    def identity(self) -> float:
+        return self.cigar.identity()
+
+    def with_score(self, score: int) -> "Alignment":
+        return replace(self, score=score)
+
+    def verify(self, target: Sequence, query: Sequence) -> None:
+        """Check the CIGAR against the actual sequences.
+
+        Walks the path and asserts every ``=`` column matches and every
+        ``X`` column differs.  Raises ``ValueError`` on any inconsistency;
+        used by tests and debug assertions, not in hot paths.
+        """
+        t = target.codes
+        q = query.reverse_complement().codes if self.strand == -1 else query.codes
+        ti, qi = self.target_start, self.query_start
+        for op, length in self.cigar:
+            if op in ("=", "X"):
+                for _ in range(length):
+                    same = t[ti] == q[qi] and t[ti] < 4
+                    if op == "=" and not same:
+                        raise ValueError(
+                            f"CIGAR claims match at target {ti} query {qi}"
+                        )
+                    if op == "X" and same:
+                        raise ValueError(
+                            f"CIGAR claims mismatch at target {ti} query {qi}"
+                        )
+                    ti += 1
+                    qi += 1
+            elif op == "D":
+                ti += length
+            else:  # "I"
+                qi += length
+        if ti != self.target_end or qi != self.query_end:
+            raise ValueError("CIGAR walk does not reach alignment end")
+
+
+@dataclass(frozen=True)
+class AnchorHit:
+    """A filtered seed hit promoted to an extension anchor.
+
+    ``filter_score`` is the banded-Smith-Waterman (or ungapped) filter
+    score that promoted the hit; ``target_pos``/``query_pos`` locate the
+    maximum-scoring cell ``x_max`` used as the extension starting point.
+    """
+
+    target_pos: int
+    query_pos: int
+    filter_score: int
+    strand: int = 1
+
+    @property
+    def diagonal(self) -> int:
+        return self.target_pos - self.query_pos

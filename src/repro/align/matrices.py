@@ -1,0 +1,61 @@
+"""Stock substitution matrices and scoring-scheme constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import ScoringScheme
+
+#: The Darwin-WGA / LASTZ default substitution matrix (paper Table IIa).
+#: Order is A, C, G, T.
+LASTZ_DEFAULT_MATRIX = np.array(
+    [
+        [91, -90, -25, -100],
+        [-90, 100, -100, -25],
+        [-25, -100, 100, -90],
+        [-100, -25, -90, 91],
+    ],
+    dtype=np.int32,
+)
+
+#: HOXD70, the matrix derived by Chiaromonte et al. that LASTZ's default
+#: approximates; included for parameter studies.
+HOXD70_MATRIX = np.array(
+    [
+        [91, -114, -31, -123],
+        [-114, 100, -125, -31],
+        [-31, -125, 100, -114],
+        [-123, -31, -114, 91],
+    ],
+    dtype=np.int32,
+)
+
+
+def lastz_default() -> ScoringScheme:
+    """The paper's default scheme: Table IIa matrix, o=430, e=30."""
+    return ScoringScheme(
+        matrix=LASTZ_DEFAULT_MATRIX, gap_open=430, gap_extend=30
+    )
+
+
+def hoxd70(gap_open: int = 430, gap_extend: int = 30) -> ScoringScheme:
+    """HOXD70 with LASTZ-style affine gaps."""
+    return ScoringScheme(
+        matrix=HOXD70_MATRIX, gap_open=gap_open, gap_extend=gap_extend
+    )
+
+
+def unit(
+    match: int = 1,
+    mismatch: int = -1,
+    gap_open: int = 2,
+    gap_extend: int = 1,
+) -> ScoringScheme:
+    """A simple unit scheme, convenient for tests and small examples."""
+    if match <= 0:
+        raise ValueError("match score must be positive")
+    matrix = np.full((4, 4), mismatch, dtype=np.int32)
+    np.fill_diagonal(matrix, match)
+    return ScoringScheme(
+        matrix=matrix, gap_open=gap_open, gap_extend=gap_extend
+    )

@@ -1,0 +1,101 @@
+"""Full-matrix Needleman-Wunsch global alignment with affine gaps.
+
+Used as the oracle for GACT/GACT-X tile computations (which use
+Needleman-Wunsch scoring so that values may go negative, paper section
+III-D) and by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from . import _dp
+from .alignment import Alignment
+from .cigar import Cigar
+from .scoring import ScoringScheme
+
+
+def align_global(
+    target: Sequence, query: Sequence, scoring: ScoringScheme
+) -> Alignment:
+    """Optimal global alignment of the two full sequences."""
+    m = len(target)
+    n = len(query)
+    if m == 0 and n == 0:
+        return Alignment(
+            target_name=target.name,
+            query_name=query.name,
+            target_start=0,
+            target_end=0,
+            query_start=0,
+            query_end=0,
+            score=0,
+            cigar=Cigar(()),
+        )
+    if m == 0 or n == 0:
+        length = max(m, n)
+        op = "I" if m == 0 else "D"
+        return Alignment(
+            target_name=target.name,
+            query_name=query.name,
+            target_start=0,
+            target_end=m,
+            query_start=0,
+            query_end=n,
+            score=-scoring.gap_cost(length),
+            cigar=Cigar.from_runs([(op, length)]),
+        )
+
+    v_prev = _dp.boundary_scores(m, scoring, free=False)
+    u_prev = np.full(m + 1, _dp.NEG_INF)
+    pointer_rows = []
+    for i in range(1, n + 1):
+        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
+            np.int64
+        )
+        boundary = np.int64(-scoring.gap_cost(i))
+        v_prev, u_prev, _, pointers = _dp.row_update(
+            v_prev, u_prev, subs, scoring, boundary, local=False
+        )
+        pointer_rows.append(pointers)
+
+    score = int(v_prev[m])
+    cigar, _, _ = _dp.traceback(
+        pointer_rows, [0] * n, target, query, n, m, pad_to_origin=True
+    )
+    return Alignment(
+        target_name=target.name,
+        query_name=query.name,
+        target_start=0,
+        target_end=m,
+        query_start=0,
+        query_end=n,
+        score=score,
+        cigar=cigar,
+    )
+
+
+def global_score(
+    target: Sequence, query: Sequence, scoring: ScoringScheme
+) -> int:
+    """Optimal global alignment score (O(m) memory, no traceback)."""
+    m = len(target)
+    n = len(query)
+    if m == 0 or n == 0:
+        return -scoring.gap_cost(max(m, n))
+    v_prev = _dp.boundary_scores(m, scoring, free=False)
+    u_prev = np.full(m + 1, _dp.NEG_INF)
+    for i in range(1, n + 1):
+        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
+            np.int64
+        )
+        v_prev, u_prev, _, _ = _dp.row_update(
+            v_prev,
+            u_prev,
+            subs,
+            scoring,
+            np.int64(-scoring.gap_cost(i)),
+            local=False,
+        )
+    return int(v_prev[m])

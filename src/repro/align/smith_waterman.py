@@ -1,0 +1,111 @@
+"""Full-matrix Smith-Waterman local alignment.
+
+This is the reference implementation the whole library is tested against:
+banded, X-dropped, and tiled kernels must agree with it whenever their
+restrictions are inactive.  It is O(n*m) in time and pointer memory, so it
+is meant for tiles and tests, not genomes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from . import _dp
+from .alignment import Alignment
+from .scoring import ScoringScheme
+
+
+def score_matrix(
+    target: Sequence, query: Sequence, scoring: ScoringScheme
+) -> np.ndarray:
+    """The full (qlen+1, rlen+1) Smith-Waterman V matrix (scores only)."""
+    m = len(target)
+    n = len(query)
+    v = np.zeros((n + 1, m + 1), dtype=np.int64)
+    u_prev = np.full(m + 1, _dp.NEG_INF)
+    for i in range(1, n + 1):
+        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
+            np.int64
+        )
+        v[i], u_prev, _, _ = _dp.row_update(
+            v[i - 1], u_prev, subs, scoring, np.int64(0), local=True
+        )
+    return v
+
+
+def align_local(
+    target: Sequence, query: Sequence, scoring: ScoringScheme
+) -> Optional[Alignment]:
+    """Best local alignment of ``query`` against ``target``.
+
+    Returns ``None`` when no cell scores above zero (e.g. empty inputs or
+    all-mismatch sequences under a matrix with no positive off-diagonal).
+    """
+    m = len(target)
+    n = len(query)
+    if m == 0 or n == 0:
+        return None
+
+    v_prev = _dp.boundary_scores(m, scoring, free=True)
+    u_prev = np.full(m + 1, _dp.NEG_INF)
+    pointer_rows = []
+    best = (np.int64(0), 0, 0)  # score, i, j
+    for i in range(1, n + 1):
+        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
+            np.int64
+        )
+        v_prev, u_prev, _, pointers = _dp.row_update(
+            v_prev, u_prev, subs, scoring, np.int64(0), local=True
+        )
+        pointer_rows.append(pointers)
+        j = int(np.argmax(v_prev))
+        if v_prev[j] > best[0]:
+            best = (v_prev[j], i, j)
+
+    score, end_i, end_j = best
+    if score <= 0:
+        return None
+    cigar, start_i, start_j = _dp.traceback(
+        pointer_rows,
+        [0] * n,
+        target,
+        query,
+        end_i,
+        end_j,
+        pad_to_origin=False,
+    )
+    return Alignment(
+        target_name=target.name,
+        query_name=query.name,
+        target_start=start_j,
+        target_end=end_j,
+        query_start=start_i,
+        query_end=end_i,
+        score=int(score),
+        cigar=cigar,
+    )
+
+
+def best_score(
+    target: Sequence, query: Sequence, scoring: ScoringScheme
+) -> int:
+    """Maximum local alignment score (no traceback, O(m) memory)."""
+    m = len(target)
+    n = len(query)
+    if m == 0 or n == 0:
+        return 0
+    v_prev = _dp.boundary_scores(m, scoring, free=True)
+    u_prev = np.full(m + 1, _dp.NEG_INF)
+    best = np.int64(0)
+    for i in range(1, n + 1):
+        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
+            np.int64
+        )
+        v_prev, u_prev, _, _ = _dp.row_update(
+            v_prev, u_prev, subs, scoring, np.int64(0), local=True
+        )
+        best = max(best, v_prev.max())
+    return int(best)

@@ -1,0 +1,165 @@
+"""Alignment score statistics: Karlin-Altschul parameters and E-values.
+
+"High-scoring alignments are assumed to have biological significance"
+(paper section II) — the quantitative form of that statement is
+Karlin-Altschul theory: ungapped local alignment scores follow an extreme
+value distribution with parameters ``lambda`` (the unique positive root
+of ``sum_ij p_i p_j exp(lambda * s_ij) = 1``) and ``K``; the expected
+number of alignments scoring at least S in an ``m x n`` comparison is
+``E = K * m * n * exp(-lambda * S)``.  These routines compute ``lambda``
+for a scoring scheme and background composition, estimate ``K``
+empirically, and convert scores to E-values/bit scores — which is also
+how the filter thresholds ``H_f``/``H_e`` can be interpreted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from ..genome import alphabet
+from ..genome.sequence import Sequence
+from .scoring import ScoringScheme
+
+#: Uniform background nucleotide composition.
+UNIFORM_BACKGROUND = np.full(4, 0.25)
+
+
+def expected_score(
+    scoring: ScoringScheme, background: np.ndarray = None
+) -> float:
+    """Expected per-column substitution score under the background.
+
+    Must be negative for local alignment statistics to exist.
+    """
+    p = UNIFORM_BACKGROUND if background is None else np.asarray(background)
+    matrix = scoring.matrix[:4, :4].astype(float)
+    return float(p @ matrix @ p)
+
+
+def karlin_lambda(
+    scoring: ScoringScheme,
+    background: np.ndarray = None,
+    tolerance: float = 1e-9,
+) -> float:
+    """The Karlin-Altschul ``lambda`` for an (ungapped) scoring scheme.
+
+    Solves ``sum_ij p_i p_j exp(lambda s_ij) = 1`` by bisection.  Raises
+    ``ValueError`` when the expected score is non-negative (no unique
+    positive root exists).
+    """
+    p = UNIFORM_BACKGROUND if background is None else np.asarray(background)
+    if not np.isclose(p.sum(), 1.0):
+        raise ValueError("background must sum to 1")
+    matrix = scoring.matrix[:4, :4].astype(float)
+    if expected_score(scoring, p) >= 0:
+        raise ValueError(
+            "expected score must be negative for local statistics"
+        )
+    if matrix.max() <= 0:
+        raise ValueError("matrix needs at least one positive score")
+    weights = np.outer(p, p)
+
+    def phi(lam: float) -> float:
+        return float((weights * np.exp(lam * matrix)).sum()) - 1.0
+
+    low, high = 0.0, 1.0
+    while phi(high) < 0:
+        high *= 2.0
+        if high > 1e3:
+            raise ValueError("failed to bracket lambda")
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if phi(mid) < 0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def bit_score(raw_score: float, lam: float, k: float) -> float:
+    """Normalised (bit) score: ``(lambda*S - ln K) / ln 2``."""
+    return (lam * raw_score - math.log(k)) / math.log(2.0)
+
+
+def evalue(
+    raw_score: float, m: int, n: int, lam: float, k: float
+) -> float:
+    """Expected alignments scoring >= ``raw_score`` in an m x n search."""
+    return k * m * n * math.exp(-lam * raw_score)
+
+
+def score_for_evalue(
+    target_evalue: float, m: int, n: int, lam: float, k: float
+) -> float:
+    """The raw score whose E-value equals ``target_evalue``."""
+    if target_evalue <= 0 or m <= 0 or n <= 0:
+        raise ValueError("evalue and search space must be positive")
+    return math.log(k * m * n / target_evalue) / lam
+
+
+def estimate_k(
+    scoring: ScoringScheme,
+    rng: np.random.Generator,
+    sample_length: int = 400,
+    samples: int = 60,
+    background: np.ndarray = None,
+) -> float:
+    """Empirical ``K`` from random-sequence score samples.
+
+    Fits the EVD location: for max scores ``S`` of random ``L x L``
+    comparisons, ``E[S] ~ (ln(K L^2) + gamma) / lambda``; inverting the
+    mean gives ``K``.  Coarse but adequate for threshold interpretation.
+    """
+    from .smith_waterman import best_score
+
+    p = UNIFORM_BACKGROUND if background is None else np.asarray(background)
+    lam = karlin_lambda(scoring, p)
+    scores = []
+    for _ in range(samples):
+        a = Sequence(
+            rng.choice(4, size=sample_length, p=p).astype(np.uint8)
+        )
+        b = Sequence(
+            rng.choice(4, size=sample_length, p=p).astype(np.uint8)
+        )
+        scores.append(best_score(a, b, scoring))
+    mean_score = float(np.mean(scores))
+    gamma = 0.5772156649015329
+    # E[S] = (ln(K m n) + gamma) / lambda  =>  K = exp(lambda E[S] - gamma)/(m n)
+    k = math.exp(lam * mean_score - gamma) / (sample_length**2)
+    return max(k, 1e-12)
+
+
+@dataclass(frozen=True)
+class ScoreStatistics:
+    """Bundle of Karlin-Altschul parameters for one scoring scheme."""
+
+    lam: float
+    k: float
+
+    def bit_score(self, raw_score: float) -> float:
+        return bit_score(raw_score, self.lam, self.k)
+
+    def evalue(self, raw_score: float, m: int, n: int) -> float:
+        return evalue(raw_score, m, n, self.lam, self.k)
+
+    def significance_threshold(
+        self, m: int, n: int, target_evalue: float = 1e-6
+    ) -> float:
+        return score_for_evalue(target_evalue, m, n, self.lam, self.k)
+
+
+def gap_length_distribution(
+    alignments: TypingSequence,
+) -> np.ndarray:
+    """All gap-run lengths across a set of alignments (Figure 2's dual:
+    the indel size spectrum)."""
+    lengths = []
+    for alignment in alignments:
+        for _, length in alignment.cigar.gap_runs():
+            lengths.append(length)
+    return np.asarray(lengths, dtype=np.int64)

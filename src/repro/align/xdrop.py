@@ -1,0 +1,201 @@
+"""X-drop extension alignment — the computation inside a GACT-X tile.
+
+The kernel aligns a query tile against a target tile with Needleman-Wunsch
+scoring (values may go negative; paper section III-D), anchored at the tile
+origin: the path must start at cell (0, 0), with any leading gaps charged
+against the origin boundary, and ends wherever the maximum score ``V_max``
+is found.  Rows are pruned with the X-drop rule: a cell stays *live* while
+its score is at least ``V_max - Y``; each row is computed from the first
+live column of the previous row to just past its last live column plus the
+maximal reach of a surviving horizontal gap run (``Y // gap_extend``).
+
+The per-row ``(j_start, j_stop)`` windows are recorded: they are exactly
+what the hardware's stripe sequencer computes, so the cycle model in
+:mod:`repro.hw.gactx_array` replays them instead of re-running the DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from . import _dp
+from .cigar import Cigar
+from .scoring import ScoringScheme
+
+
+@dataclass(frozen=True)
+class XDropExtension:
+    """Result of one X-drop tile extension.
+
+    ``max_i``/``max_j`` locate ``V_max`` (1-based; 0,0 when nothing scored
+    above zero).  ``cigar`` spans from the tile origin to the maximum and
+    is ``None`` when traceback was not requested.  ``row_windows`` holds
+    the inclusive computed column range per row; ``cells`` is their total
+    size (the traceback-memory and cycle cost unit).
+    """
+
+    score: int
+    max_i: int
+    max_j: int
+    cigar: Optional[Cigar]
+    cells: int
+    row_windows: Tuple[Tuple[int, int], ...]
+
+    @property
+    def rows_computed(self) -> int:
+        return len(self.row_windows)
+
+
+def xdrop_extend(
+    target: Sequence,
+    query: Sequence,
+    scoring: ScoringScheme,
+    ydrop: int,
+    with_traceback: bool = True,
+) -> XDropExtension:
+    """Extend from the tile origin under the X-drop rule.
+
+    Args:
+        target: target tile (columns).
+        query: query tile (rows).
+        scoring: substitution matrix and affine gaps.
+        ydrop: the ``Y`` parameter; cells below ``V_max - Y`` die.
+        with_traceback: record pointers and reconstruct the path.
+
+    Returns:
+        An :class:`XDropExtension`; its CIGAR starts exactly at the tile
+        origin (leading gaps included, paper section III-D).
+    """
+    if ydrop < 0:
+        raise ValueError("ydrop must be non-negative")
+    m = len(target)
+    n = len(query)
+    if m == 0 or n == 0:
+        return XDropExtension(
+            score=0,
+            max_i=0,
+            max_j=0,
+            cigar=Cigar(()) if with_traceback else None,
+            cells=0,
+            row_windows=(),
+        )
+
+    gap_slack = ydrop // max(1, scoring.gap_extend) + 1
+
+    v_full = _dp.boundary_scores(m, scoring, free=False)
+    u_full = np.full(m + 1, _dp.NEG_INF)
+    best = np.int64(0)
+    best_i, best_j = 0, 0
+
+    # Row 0 live set under the initial V_max = 0.
+    live = np.flatnonzero(v_full >= -ydrop)
+    prev_first_live = 1
+    prev_last_live = int(live.max()) if live.size else 0
+
+    pointer_rows: List[np.ndarray] = []
+    row_offsets: List[int] = []
+    row_windows: List[Tuple[int, int]] = []
+    cells = 0
+
+    for i in range(1, n + 1):
+        lo = max(1, prev_first_live)
+        hi = min(m, prev_last_live + 1 + gap_slack)
+        if hi < lo:
+            break
+        subs = scoring.row_scores(
+            query.codes[i - 1], target.codes[lo - 1 : hi]
+        ).astype(np.int64)
+        left_boundary = (
+            np.int64(-scoring.gap_cost(i)) if lo == 1 else _dp.NEG_INF
+        )
+        v_row, u_row, _, pointers = _dp.row_update(
+            v_full[lo - 1 : hi + 1],
+            u_full[lo - 1 : hi + 1],
+            subs,
+            scoring,
+            left_boundary,
+            local=False,
+        )
+
+        row_max_idx = int(np.argmax(v_row[1:]))
+        row_max = v_row[1 + row_max_idx]
+        if row_max > best:
+            best = row_max
+            best_i = i
+            best_j = lo + row_max_idx
+
+        threshold = best - ydrop
+        live_rel = np.flatnonzero(v_row[1:] >= threshold)
+        # Trim the stored window to the live extent so that traceback
+        # memory accounting matches what the hardware would keep.
+        if live_rel.size == 0:
+            row_windows.append((lo, hi))
+            cells += hi - lo + 1
+            break
+        first_live = lo + int(live_rel[0])
+        last_live = lo + int(live_rel[-1])
+
+        v_full.fill(_dp.NEG_INF)
+        u_full.fill(_dp.NEG_INF)
+        v_full[lo - 1 : hi + 1] = v_row
+        u_full[lo - 1 : hi + 1] = u_row
+        if lo == 1:
+            v_full[0] = left_boundary
+
+        if with_traceback:
+            pointer_rows.append(pointers[1:])
+            row_offsets.append(lo)
+        row_windows.append((lo, hi))
+        cells += hi - lo + 1
+        prev_first_live = first_live
+        prev_last_live = last_live
+
+    cigar: Optional[Cigar] = None
+    if with_traceback:
+        if best > 0:
+            cigar, end_i, end_j = _traceback_from(
+                pointer_rows,
+                row_offsets,
+                target,
+                query,
+                best_i,
+                best_j,
+            )
+        else:
+            cigar = Cigar(())
+    return XDropExtension(
+        score=int(best),
+        max_i=best_i if best > 0 else 0,
+        max_j=best_j if best > 0 else 0,
+        cigar=cigar,
+        cells=cells,
+        row_windows=tuple(row_windows),
+    )
+
+
+def _traceback_from(
+    pointer_rows: List[np.ndarray],
+    row_offsets: List[int],
+    target: Sequence,
+    query: Sequence,
+    start_i: int,
+    start_j: int,
+) -> Tuple[Cigar, int, int]:
+    """Trace from the maximum back to the tile origin (padding gaps)."""
+    return (
+        _dp.traceback(
+            pointer_rows,
+            row_offsets,
+            target,
+            query,
+            start_i,
+            start_j,
+            pad_to_origin=True,
+        )[0],
+        0,
+        0,
+    )

@@ -1,0 +1,43 @@
+"""Annotation analysis: translation, mini-TBLASTX, exon coverage."""
+
+from .blosum import blosum62
+from .exons import ExonCoverageReport, exon_coverage, uncovered_exons
+from .tblastx import (
+    TblastxHit,
+    TblastxParams,
+    find_orthologous_exons,
+)
+from .translated_search import (
+    TranslatedHit,
+    protein_space_recall,
+    translated_search,
+)
+from .translate import (
+    AA_ALPHABET,
+    AA_STOP,
+    AA_X,
+    decode_protein,
+    encode_protein,
+    six_frame_translations,
+    translate,
+)
+
+__all__ = [
+    "blosum62",
+    "ExonCoverageReport",
+    "exon_coverage",
+    "uncovered_exons",
+    "TblastxHit",
+    "TblastxParams",
+    "find_orthologous_exons",
+    "AA_ALPHABET",
+    "AA_STOP",
+    "AA_X",
+    "decode_protein",
+    "encode_protein",
+    "six_frame_translations",
+    "translate",
+    "TranslatedHit",
+    "protein_space_recall",
+    "translated_search",
+]

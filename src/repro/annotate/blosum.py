@@ -1,0 +1,56 @@
+"""BLOSUM62 substitution matrix over the library's amino-acid encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .translate import AA_ALPHABET, AA_STOP, AA_X
+
+_BLOSUM62_CORE = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4
+"""
+
+
+def blosum62() -> np.ndarray:
+    """BLOSUM62 as a 22x22 ``int32`` array over ``AA_ALPHABET``.
+
+    The 20 standard residues carry the canonical scores; ``X`` scores -1
+    against everything, ``*`` scores -4 against residues and +1 against
+    itself (NCBI convention).
+    """
+    size = len(AA_ALPHABET)
+    matrix = np.full((size, size), -1, dtype=np.int32)
+    core = np.array(
+        [
+            [int(value) for value in line.split()]
+            for line in _BLOSUM62_CORE.strip().splitlines()
+        ],
+        dtype=np.int32,
+    )
+    matrix[:20, :20] = core
+    matrix[AA_STOP, :] = -4
+    matrix[:, AA_STOP] = -4
+    matrix[AA_STOP, AA_STOP] = 1
+    matrix[AA_X, :20] = -1
+    matrix[:20, AA_X] = -1
+    matrix[AA_X, AA_X] = -1
+    return matrix

@@ -1,0 +1,81 @@
+"""Codon translation: DNA to amino-acid sequences.
+
+Supports the mini-TBLASTX exon-orthology search (paper section V-E uses
+TBLASTX to establish which exons have high-confidence protein-level
+orthologs).  Amino acids are numerically encoded like DNA bases so that
+BLOSUM matrices index directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..genome import alphabet
+from ..genome.sequence import Sequence
+
+#: Amino-acid alphabet: the 20 standard residues, X (unknown), * (stop).
+AA_ALPHABET = "ARNDCQEGHILKMFPSTWYVX*"
+
+#: Numeric codes for X and stop.
+AA_X = AA_ALPHABET.index("X")
+AA_STOP = AA_ALPHABET.index("*")
+
+_AA_CODE: Dict[str, int] = {aa: i for i, aa in enumerate(AA_ALPHABET)}
+
+# Standard genetic code, codons in TCAG-free ACGT ordering below.
+_CODON_STRING = (
+    "KNKN" "TTTT" "RSRS" "IIMI"  # AAx ACx AGx ATx
+    "QHQH" "PPPP" "RRRR" "LLLL"  # CAx CCx CGx CTx
+    "EDED" "AAAA" "GGGG" "VVVV"  # GAx GCx GGx GTx
+    "*Y*Y" "SSSS" "*CWC" "LFLF"  # TAx TCx TGx TTx
+)
+# Index layout: first base * 16 + second base * 4 + third base, with the
+# numeric base codes A=0, C=1, G=2, T=3.
+
+_CODON_TABLE = np.empty(64, dtype=np.uint8)
+for _idx, _aa in enumerate(_CODON_STRING):
+    _CODON_TABLE[_idx] = _AA_CODE[_aa]
+
+
+def encode_protein(text: str) -> np.ndarray:
+    """Encode a protein string into amino-acid codes (unknown -> X)."""
+    return np.array(
+        [_AA_CODE.get(ch.upper(), AA_X) for ch in text], dtype=np.uint8
+    )
+
+
+def decode_protein(codes: np.ndarray) -> str:
+    """Decode amino-acid codes back to a string."""
+    return "".join(AA_ALPHABET[int(c)] for c in codes)
+
+
+def translate(seq: Sequence, frame: int = 0) -> np.ndarray:
+    """Translate a DNA sequence in one forward reading frame.
+
+    ``frame`` is 0, 1, or 2 (the offset of the first codon).  Codons
+    containing an ambiguous base translate to ``X``.  Returns amino-acid
+    codes.
+    """
+    if frame not in (0, 1, 2):
+        raise ValueError("frame must be 0, 1, or 2")
+    codes = seq.codes[frame:]
+    n_codons = codes.size // 3
+    if n_codons == 0:
+        return np.empty(0, dtype=np.uint8)
+    codons = codes[: n_codons * 3].reshape(n_codons, 3).astype(np.int64)
+    ambiguous = (codons >= alphabet.NUM_NUCLEOTIDES).any(axis=1)
+    indices = codons[:, 0] * 16 + codons[:, 1] * 4 + codons[:, 2]
+    indices[ambiguous] = 0
+    amino = _CODON_TABLE[indices]
+    amino[ambiguous] = AA_X
+    return amino
+
+
+def six_frame_translations(seq: Sequence) -> List[np.ndarray]:
+    """All six reading-frame translations (3 forward, 3 reverse)."""
+    frames = [translate(seq, frame) for frame in range(3)]
+    reverse = seq.reverse_complement()
+    frames.extend(translate(reverse, frame) for frame in range(3))
+    return frames

@@ -1,0 +1,157 @@
+"""Translated whole-genome homology search (the paper's future work).
+
+The paper's conclusion: *"A future version of Darwin-WGA will also allow
+for TBLASTX-like search in the amino acid space for protein-coding genes
+in addition to DNA alignments."*  This module implements that mode in
+software: both genomes are translated in all reading frames, amino-acid
+word hits are enumerated, extended without gaps under an X-drop rule
+(BLOSUM62), deduplicated per diagonal, and reported with their DNA
+coordinates — protein-level homologies that DNA seeding can miss once
+synonymous third-codon positions have saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from .blosum import blosum62
+from .tblastx import TblastxParams, _aa_words, _ungapped_protein_block
+from .translate import translate
+
+
+@dataclass(frozen=True)
+class TranslatedHit:
+    """A protein-space local homology between two genomes.
+
+    Coordinates are DNA positions on the forward strands; ``*_frame``
+    are reading frames 0-2 (forward) or 3-5 (reverse complement).
+    """
+
+    score: int
+    target_frame: int
+    query_frame: int
+    target_start: int
+    target_end: int
+    query_start: int
+    query_end: int
+
+    @property
+    def aa_length(self) -> int:
+        return (self.target_end - self.target_start) // 3
+
+
+def _frame_translations(seq: Sequence) -> List[Tuple[int, np.ndarray]]:
+    frames = [(f, translate(seq, f)) for f in range(3)]
+    reverse = seq.reverse_complement()
+    frames.extend((f + 3, translate(reverse, f)) for f in range(3))
+    return frames
+
+
+def _dna_interval(
+    frame: int, aa_start: int, aa_end: int, dna_length: int
+) -> Tuple[int, int]:
+    """Map an amino-acid interval of a frame back to forward-strand DNA."""
+    offset = frame % 3
+    start = offset + 3 * aa_start
+    end = offset + 3 * aa_end
+    if frame < 3:
+        return start, min(end, dna_length)
+    # Reverse frames index the reverse complement; flip back.
+    return max(dna_length - end, 0), dna_length - start
+
+
+def translated_search(
+    target: Sequence,
+    query: Sequence,
+    params: TblastxParams = None,
+    max_hits: int = 200,
+) -> List[TranslatedHit]:
+    """Find protein-space homologies between two DNA sequences.
+
+    Returns hits sorted by descending score, at most one per
+    (frame pair, diagonal, block) after dedup, capped at ``max_hits``.
+    """
+    params = params or TblastxParams()
+    matrix = blosum62()
+    target_frames = _frame_translations(target)
+    query_frames = _frame_translations(query)
+
+    hits: List[TranslatedHit] = []
+    for t_frame, t_aa in target_frames:
+        t_words = _aa_words(t_aa, params.word_size)
+        if t_words.size == 0:
+            continue
+        order = np.argsort(t_words, kind="stable")
+        sorted_words = t_words[order]
+        for q_frame, q_aa in query_frames:
+            q_words = _aa_words(q_aa, params.word_size)
+            if q_words.size == 0:
+                continue
+            left = np.searchsorted(sorted_words, q_words, "left")
+            right = np.searchsorted(sorted_words, q_words, "right")
+            seen_blocks = set()
+            for q_pos in np.flatnonzero(right > left):
+                for slot in range(left[q_pos], right[q_pos]):
+                    t_pos = int(order[slot])
+                    score, b_start, b_end = _ungapped_protein_block(
+                        t_aa,
+                        q_aa,
+                        t_pos,
+                        int(q_pos),
+                        params.word_size,
+                        matrix,
+                        params.xdrop,
+                    )
+                    if score < params.threshold:
+                        continue
+                    diagonal = t_pos - int(q_pos)
+                    key = (diagonal, b_start)
+                    if key in seen_blocks:
+                        continue
+                    seen_blocks.add(key)
+                    q_start = b_start - diagonal
+                    q_end = b_end - diagonal
+                    t_dna = _dna_interval(
+                        t_frame, b_start, b_end, len(target)
+                    )
+                    q_dna = _dna_interval(
+                        q_frame, q_start, q_end, len(query)
+                    )
+                    hits.append(
+                        TranslatedHit(
+                            score=score,
+                            target_frame=t_frame,
+                            query_frame=q_frame,
+                            target_start=t_dna[0],
+                            target_end=t_dna[1],
+                            query_start=q_dna[0],
+                            query_end=q_dna[1],
+                        )
+                    )
+    hits.sort(key=lambda h: -h.score)
+    return hits[:max_hits]
+
+
+def protein_space_recall(
+    hits: List[TranslatedHit],
+    exons: List,
+    min_overlap: float = 0.5,
+) -> float:
+    """Fraction of exon intervals overlapped by translated hits."""
+    if not exons:
+        return 0.0
+    covered = 0
+    for exon in exons:
+        span = exon.end - exon.start
+        best = 0
+        for hit in hits:
+            lo = max(exon.start, hit.target_start)
+            hi = min(exon.end, hit.target_end)
+            best = max(best, hi - lo)
+        if span > 0 and best >= min_overlap * span:
+            covered += 1
+    return covered / len(exons)

@@ -1,0 +1,36 @@
+"""Chaining: axtChain-like chain construction and sensitivity metrics."""
+
+from .chainer import Chain, build_chains
+from .gap_costs import GapCosts
+from .liftover import LiftOver, LiftSegment, best_lift
+from .nets import Net, NetEntry, build_net
+from .metrics import (
+    ChainComparison,
+    block_length_histogram,
+    compare,
+    fraction_below,
+    mean_top_score,
+    top_chain_scores,
+    total_matches,
+    ungapped_block_lengths,
+)
+
+__all__ = [
+    "Chain",
+    "build_chains",
+    "GapCosts",
+    "LiftOver",
+    "LiftSegment",
+    "best_lift",
+    "Net",
+    "NetEntry",
+    "build_net",
+    "ChainComparison",
+    "block_length_histogram",
+    "compare",
+    "fraction_below",
+    "mean_top_score",
+    "top_chain_scores",
+    "total_matches",
+    "ungapped_block_lengths",
+]

@@ -1,0 +1,149 @@
+"""AXTCHAIN-like chaining of local alignments.
+
+Chains are maximally-scoring ordered sequences of alignment blocks that may
+be separated by large (including double-sided) gaps (paper section II).
+The chainer runs a sparse dynamic program: blocks sorted by target start,
+each block linked to the predecessor maximising ``chain_score(pred) -
+gap_cost`` under strict colinearity, then chains extracted greedily from
+the highest-scoring endpoints with each block used at most once — the same
+output model as Kent's axtChain.
+
+The paper's sensitivity metrics are all computed over these chains: top-10
+chain scores, matching base-pairs in all chains, and exon coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence as TypingSequence, Tuple
+
+import numpy as np
+
+from ..align.alignment import Alignment
+from .gap_costs import GapCosts
+
+
+@dataclass(frozen=True)
+class Chain:
+    """An ordered, colinear sequence of alignment blocks."""
+
+    blocks: Tuple[Alignment, ...]
+    score: float
+    strand: int = 1
+
+    @property
+    def target_start(self) -> int:
+        return self.blocks[0].target_start
+
+    @property
+    def target_end(self) -> int:
+        return self.blocks[-1].target_end
+
+    @property
+    def query_start(self) -> int:
+        return self.blocks[0].query_start
+
+    @property
+    def query_end(self) -> int:
+        return self.blocks[-1].query_end
+
+    @property
+    def matches(self) -> int:
+        """Matching base pairs summed over all blocks."""
+        return sum(block.matches for block in self.blocks)
+
+    @property
+    def aligned_pairs(self) -> int:
+        return sum(block.cigar.aligned_pairs for block in self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def _chain_strand(
+    blocks: List[Alignment], gap_costs: GapCosts, min_score: float
+) -> List[Chain]:
+    """Chain colinear blocks of a single strand."""
+    if not blocks:
+        return []
+    blocks = sorted(
+        blocks, key=lambda a: (a.target_start, a.query_start)
+    )
+    n = len(blocks)
+    t_start = np.array([b.target_start for b in blocks], dtype=np.int64)
+    t_end = np.array([b.target_end for b in blocks], dtype=np.int64)
+    q_start = np.array([b.query_start for b in blocks], dtype=np.int64)
+    q_end = np.array([b.query_end for b in blocks], dtype=np.int64)
+    own = np.array([float(b.score) for b in blocks])
+
+    best = own.copy()
+    back = np.full(n, -1, dtype=np.int64)
+    for i in range(1, n):
+        feasible = np.flatnonzero(
+            (t_end[:i] <= t_start[i]) & (q_end[:i] <= q_start[i])
+        )
+        if feasible.size == 0:
+            continue
+        gaps = gap_costs.cost(
+            t_start[i] - t_end[feasible], q_start[i] - q_end[feasible]
+        )
+        candidate = best[feasible] - gaps
+        k = int(np.argmax(candidate))
+        if candidate[k] > 0:
+            best[i] = own[i] + candidate[k]
+            back[i] = feasible[k]
+
+    chains: List[Chain] = []
+    used = np.zeros(n, dtype=bool)
+    for i in np.argsort(-best):
+        if used[i]:
+            continue
+        path = []
+        node = int(i)
+        while node != -1 and not used[node]:
+            path.append(node)
+            used[node] = True
+            node = int(back[node])
+        path.reverse()
+        # Truncated walks (hit an already-used block) keep their own
+        # blocks; rescore the surviving path.
+        score = float(own[path[0]])
+        for prev, cur in zip(path, path[1:]):
+            score += float(own[cur]) - float(
+                gap_costs.cost(
+                    t_start[cur] - t_end[prev], q_start[cur] - q_end[prev]
+                )
+            )
+        if score >= min_score:
+            chains.append(
+                Chain(
+                    blocks=tuple(blocks[k] for k in path),
+                    score=score,
+                    strand=blocks[path[0]].strand,
+                )
+            )
+    chains.sort(key=lambda chain: -chain.score)
+    return chains
+
+
+def build_chains(
+    alignments: TypingSequence[Alignment],
+    gap_costs: GapCosts = None,
+    min_score: float = 0.0,
+) -> List[Chain]:
+    """Chain alignments into maximally scoring colinear sequences.
+
+    Alignments are partitioned by (target, query, strand) and chained per
+    partition; the result is sorted by descending chain score.
+    """
+    if gap_costs is None:
+        gap_costs = GapCosts.loose()
+    partitions: Dict[Tuple[str, str, int], List[Alignment]] = {}
+    for alignment in alignments:
+        key = (alignment.target_name, alignment.query_name, alignment.strand)
+        partitions.setdefault(key, []).append(alignment)
+    chains: List[Chain] = []
+    for blocks in partitions.values():
+        chains.extend(_chain_strand(blocks, gap_costs, min_score))
+    chains.sort(key=lambda chain: -chain.score)
+    return chains

@@ -1,0 +1,131 @@
+"""Piecewise-linear chain gap costs (axtChain's ``linearGap`` tables).
+
+The paper post-processes all alignments with Kent's AXTCHAIN utility using
+``-linearGap=loose``.  axtChain charges a gap between consecutive chained
+blocks according to a piecewise-linear table over the gap size, with
+separate curves for query-only gaps, target-only gaps, and double-sided
+gaps; costs extrapolate with the final slope beyond the last knot.  Both
+stock tables (``loose``, for distant species like chicken/human, and
+``medium``, the default) are reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+_POSITIONS = (1, 2, 3, 11, 111, 2111, 12111, 32111, 72111, 152111, 252111)
+
+_LOOSE_Q = (325, 360, 400, 450, 600, 1100, 3600, 7600, 15600, 31600, 56600)
+_LOOSE_T = _LOOSE_Q
+_LOOSE_BOTH = (
+    625,
+    660,
+    700,
+    750,
+    900,
+    1400,
+    4000,
+    8000,
+    16000,
+    32000,
+    57000,
+)
+
+_MEDIUM_Q = (
+    350,
+    425,
+    450,
+    600,
+    900,
+    2900,
+    22900,
+    57900,
+    117900,
+    217900,
+    317900,
+)
+_MEDIUM_T = _MEDIUM_Q
+_MEDIUM_BOTH = (
+    750,
+    825,
+    850,
+    1000,
+    1300,
+    3300,
+    23300,
+    58300,
+    118300,
+    218300,
+    318300,
+)
+
+
+class _Curve:
+    """One piecewise-linear cost curve with final-slope extrapolation."""
+
+    def __init__(
+        self,
+        positions: TypingSequence[int],
+        costs: TypingSequence[int],
+    ) -> None:
+        self._x = np.asarray(positions, dtype=np.float64)
+        self._y = np.asarray(costs, dtype=np.float64)
+        if self._x.size != self._y.size or self._x.size < 2:
+            raise ValueError("curve needs matching positions and costs")
+        self._tail_slope = (self._y[-1] - self._y[-2]) / (
+            self._x[-1] - self._x[-2]
+        )
+
+    def __call__(self, size) -> np.ndarray:
+        size = np.asarray(size, dtype=np.float64)
+        inside = np.interp(size, self._x, self._y)
+        beyond = self._y[-1] + (size - self._x[-1]) * self._tail_slope
+        cost = np.where(size > self._x[-1], beyond, inside)
+        return np.where(size <= 0, 0.0, cost)
+
+
+@dataclass(frozen=True)
+class GapCosts:
+    """Chain gap-cost model: query-gap, target-gap and both-gap curves."""
+
+    q_curve: _Curve
+    t_curve: _Curve
+    both_curve: _Curve
+
+    @classmethod
+    def loose(cls) -> "GapCosts":
+        """The ``-linearGap=loose`` table used in the paper."""
+        return cls(
+            _Curve(_POSITIONS, _LOOSE_Q),
+            _Curve(_POSITIONS, _LOOSE_T),
+            _Curve(_POSITIONS, _LOOSE_BOTH),
+        )
+
+    @classmethod
+    def medium(cls) -> "GapCosts":
+        """axtChain's default ``-linearGap=medium`` table."""
+        return cls(
+            _Curve(_POSITIONS, _MEDIUM_Q),
+            _Curve(_POSITIONS, _MEDIUM_T),
+            _Curve(_POSITIONS, _MEDIUM_BOTH),
+        )
+
+    def cost(self, target_gap, query_gap) -> np.ndarray:
+        """Cost of a gap of ``target_gap`` target and ``query_gap`` query
+        bases between consecutive chain blocks (vectorised)."""
+        target_gap = np.asarray(target_gap, dtype=np.float64)
+        query_gap = np.asarray(query_gap, dtype=np.float64)
+        both = target_gap + query_gap
+        double_sided = (target_gap > 0) & (query_gap > 0)
+        return np.where(
+            double_sided,
+            self.both_curve(both),
+            np.where(
+                target_gap > 0,
+                self.t_curve(target_gap),
+                self.q_curve(query_gap),
+            ),
+        )

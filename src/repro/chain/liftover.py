@@ -1,0 +1,160 @@
+"""Coordinate liftover through alignment chains (UCSC liftOver-like).
+
+Chains are the standard coordinate-mapping artifact between assemblies
+(the reason the UCSC browser hosts them, paper section II).  This module
+maps positions and intervals from the target genome to the query genome
+through a chain's aligned blocks: positions inside aligned columns map
+exactly; positions inside chain gaps do not map (or snap to the nearest
+aligned column when requested).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence as TypingSequence, Tuple
+
+from .chainer import Chain
+
+
+@dataclass(frozen=True)
+class LiftSegment:
+    """One gap-free aligned run: target [t, t+len) <-> query [q, q+len)."""
+
+    target_start: int
+    query_start: int
+    length: int
+
+    @property
+    def target_end(self) -> int:
+        return self.target_start + self.length
+
+    @property
+    def query_end(self) -> int:
+        return self.query_start + self.length
+
+
+class LiftOver:
+    """Position mapping built from one chain.
+
+    >>> # doctest-style sketch; see tests for runnable examples
+    >>> # lift = LiftOver(chain); lift.map_position(12345)
+    """
+
+    def __init__(self, chain: Chain) -> None:
+        self.chain = chain
+        self.segments = _chain_segments(chain)
+        self._starts = [seg.target_start for seg in self.segments]
+
+    @property
+    def strand(self) -> int:
+        return self.chain.strand
+
+    def map_position(
+        self, target_position: int, snap: bool = False
+    ) -> Optional[int]:
+        """Query coordinate of a target position.
+
+        Returns ``None`` for positions outside aligned columns unless
+        ``snap`` is set, in which case the nearest aligned column's image
+        is returned.
+        """
+        idx = bisect.bisect_right(self._starts, target_position) - 1
+        if idx >= 0:
+            seg = self.segments[idx]
+            if seg.target_start <= target_position < seg.target_end:
+                return seg.query_start + (
+                    target_position - seg.target_start
+                )
+        if not snap or not self.segments:
+            return None
+        # nearest aligned column
+        candidates = []
+        if idx >= 0:
+            seg = self.segments[idx]
+            candidates.append((target_position - (seg.target_end - 1), seg.query_end - 1))
+        if idx + 1 < len(self.segments):
+            seg = self.segments[idx + 1]
+            candidates.append((seg.target_start - target_position, seg.query_start))
+        distance, query = min(candidates)
+        return query if distance >= 0 else None
+
+    def map_interval(
+        self, start: int, end: int, min_fraction: float = 0.0
+    ) -> Optional[Tuple[int, int]]:
+        """Query interval spanned by the aligned part of ``[start, end)``.
+
+        Returns the (min, max+1) of the images of aligned positions, or
+        ``None`` when fewer than ``min_fraction`` of the bases map.
+        """
+        if end <= start:
+            raise ValueError("empty interval")
+        mapped: List[int] = []
+        aligned = 0
+        for seg in self.segments:
+            lo = max(start, seg.target_start)
+            hi = min(end, seg.target_end)
+            if hi > lo:
+                aligned += hi - lo
+                offset = lo - seg.target_start
+                mapped.append(seg.query_start + offset)
+                mapped.append(seg.query_start + offset + (hi - lo) - 1)
+        if not mapped:
+            return None
+        if aligned < min_fraction * (end - start):
+            return None
+        return min(mapped), max(mapped) + 1
+
+    def coverage(self, start: int, end: int) -> float:
+        """Fraction of ``[start, end)`` inside aligned columns."""
+        if end <= start:
+            return 0.0
+        aligned = 0
+        for seg in self.segments:
+            lo = max(start, seg.target_start)
+            hi = min(end, seg.target_end)
+            aligned += max(0, hi - lo)
+        return aligned / (end - start)
+
+
+def _chain_segments(chain: Chain) -> List[LiftSegment]:
+    """Flatten a chain into gap-free aligned runs."""
+    segments: List[LiftSegment] = []
+    for block in chain.blocks:
+        t = block.target_start
+        q = block.query_start
+        for op, length in block.cigar:
+            if op in ("=", "X"):
+                if (
+                    segments
+                    and segments[-1].target_end == t
+                    and segments[-1].query_end == q
+                ):
+                    last = segments.pop()
+                    segments.append(
+                        LiftSegment(
+                            last.target_start,
+                            last.query_start,
+                            last.length + length,
+                        )
+                    )
+                else:
+                    segments.append(LiftSegment(t, q, length))
+                t += length
+                q += length
+            elif op == "D":
+                t += length
+            else:
+                q += length
+    return segments
+
+
+def best_lift(
+    chains: TypingSequence[Chain], target_position: int
+) -> Optional[int]:
+    """Map a position through the highest-scoring chain that covers it."""
+    for chain in sorted(chains, key=lambda c: -c.score):
+        lifted = LiftOver(chain).map_position(target_position)
+        if lifted is not None:
+            return lifted
+    return None

@@ -1,0 +1,162 @@
+"""Chain netting (UCSC chainNet-like).
+
+After chaining, the UCSC pipeline *nets* the chains: the best chain
+claims the target intervals it covers; lower-scoring chains may only fill
+the gaps the better chains left (recursively), producing a hierarchy that
+resolves which alignment "owns" each region — the structure behind the
+browser's net tracks and the orthology calls of section II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence as TypingSequence, Tuple
+
+from .chainer import Chain
+
+
+@dataclass
+class NetEntry:
+    """One chain placed in the net, with its children filling its gaps."""
+
+    chain: Chain
+    target_start: int
+    target_end: int
+    level: int
+    children: List["NetEntry"] = field(default_factory=list)
+
+    @property
+    def span(self) -> int:
+        return self.target_end - self.target_start
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+@dataclass
+class Net:
+    """The full net of one target sequence."""
+
+    entries: List[NetEntry]
+    target_length: int
+
+    def top_level(self) -> List[NetEntry]:
+        return self.entries
+
+    def all_entries(self) -> List[NetEntry]:
+        collected: List[NetEntry] = []
+
+        def walk(entries: List[NetEntry]) -> None:
+            for entry in entries:
+                collected.append(entry)
+                walk(entry.children)
+
+        walk(self.entries)
+        return collected
+
+    def covered_bases(self) -> int:
+        """Target bases claimed by any net entry (levels never overlap
+        within a lineage, so summation over top-level spans suffices for
+        level-1 coverage; deeper levels refill gaps)."""
+        return sum(entry.span for entry in self.entries)
+
+    def fill_fraction(self) -> float:
+        return (
+            self.covered_bases() / self.target_length
+            if self.target_length
+            else 0.0
+        )
+
+
+def _free_intervals(
+    span: Tuple[int, int], used: TypingSequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Sub-intervals of ``span`` not covered by ``used`` intervals."""
+    start, end = span
+    free: List[Tuple[int, int]] = []
+    cursor = start
+    for u_start, u_end in sorted(used):
+        if u_end <= start or u_start >= end:
+            continue
+        if u_start > cursor:
+            free.append((cursor, min(u_start, end)))
+        cursor = max(cursor, u_end)
+        if cursor >= end:
+            break
+    if cursor < end:
+        free.append((cursor, end))
+    return free
+
+
+def build_net(
+    chains: TypingSequence[Chain],
+    target_length: int,
+    min_span: int = 25,
+    max_level: int = 8,
+) -> Net:
+    """Net chains over one target sequence.
+
+    Chains are considered in score order; each claims the part of its
+    target span still free at its level.  A chain whose free span is
+    shorter than ``min_span`` is dropped (chainNet's minSpace).
+    """
+    ordered = sorted(chains, key=lambda c: -c.score)
+
+    def place(
+        available: Tuple[int, int],
+        candidates: List[Chain],
+        level: int,
+    ) -> List[NetEntry]:
+        if level > max_level:
+            return []
+        entries: List[NetEntry] = []
+        used: List[Tuple[int, int]] = []
+        for chain in candidates:
+            lo = max(chain.target_start, available[0])
+            hi = min(chain.target_end, available[1])
+            if hi - lo < min_span:
+                continue
+            free = _free_intervals((lo, hi), used)
+            if not free:
+                continue
+            # claim the largest free piece
+            piece = max(free, key=lambda iv: iv[1] - iv[0])
+            if piece[1] - piece[0] < min_span:
+                continue
+            entry = NetEntry(
+                chain=chain,
+                target_start=piece[0],
+                target_end=piece[1],
+                level=level,
+            )
+            used.append(piece)
+            entries.append(entry)
+        # children: fill each entry's gaps with the remaining chains
+        for entry in entries:
+            rest = [c for c in candidates if c is not entry.chain]
+            gap_intervals = _gap_intervals_of_chain(
+                entry.chain, entry.target_start, entry.target_end
+            )
+            for gap in gap_intervals:
+                if gap[1] - gap[0] < min_span:
+                    continue
+                entry.children.extend(place(gap, rest, level + 1))
+        return entries
+
+    entries = place((0, target_length), list(ordered), 1)
+    return Net(entries=entries, target_length=target_length)
+
+
+def _gap_intervals_of_chain(
+    chain: Chain, start: int, end: int
+) -> List[Tuple[int, int]]:
+    """Target intervals between the chain's blocks, clipped to a span."""
+    gaps: List[Tuple[int, int]] = []
+    for prev_block, next_block in zip(chain.blocks, chain.blocks[1:]):
+        lo = max(prev_block.target_end, start)
+        hi = min(next_block.target_start, end)
+        if hi > lo:
+            gaps.append((lo, hi))
+    return gaps

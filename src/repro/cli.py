@@ -1,0 +1,362 @@
+"""Command-line interface for the Darwin-WGA reproduction.
+
+Subcommands mirror a typical WGA workflow::
+
+    repro generate --length 30000 --distance 0.8 --out-dir genomes/
+    repro align genomes/target.fa genomes/query.fa --out alignments.maf
+    repro align --aligner lastz genomes/target.fa genomes/query.fa
+    repro chain alignments.maf genomes/target.fa genomes/query.fa
+    repro model --filter-tiles 14585000000 --extension-tiles 4400000
+
+``repro model`` runs the hardware cost model directly on a workload
+description and prints the Table V-style numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .align.matrices import lastz_default
+from .chain import GapCosts, build_chains, top_chain_scores, total_matches
+from .core import DarwinWGA, DarwinWGAConfig, Workload
+from .genome import make_species_pair, read_fasta, write_fasta
+from .hw import CostModel, asic_estimate
+from .io import write_chains, write_maf
+from .lastz import LastzAligner
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="generate a synthetic species pair"
+    )
+    parser.add_argument("--length", type=int, default=30_000)
+    parser.add_argument(
+        "--distance",
+        type=float,
+        default=0.6,
+        help="substitutions/site separating the two species",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--exons", type=int, default=10)
+    parser.add_argument(
+        "--alignable-fraction",
+        type=float,
+        default=0.35,
+        help="fraction of the genome in conserved islands",
+    )
+    parser.add_argument("--out-dir", type=Path, default=Path("."))
+    parser.set_defaults(func=_cmd_generate)
+
+
+def _cmd_generate(args) -> int:
+    pair = make_species_pair(
+        args.length,
+        args.distance,
+        np.random.default_rng(args.seed),
+        exon_count=args.exons,
+        alignable_fraction=args.alignable_fraction,
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    target_path = args.out_dir / "target.fa"
+    query_path = args.out_dir / "query.fa"
+    write_fasta([pair.target.genome], target_path)
+    write_fasta([pair.query.genome], query_path)
+    print(f"wrote {target_path} ({len(pair.target.genome):,} bp)")
+    print(f"wrote {query_path} ({len(pair.query.genome):,} bp)")
+    if pair.target.exons:
+        bed = args.out_dir / "target_exons.bed"
+        with open(bed, "w") as handle:
+            for exon in pair.target.exons:
+                handle.write(
+                    f"target\t{exon.start}\t{exon.end}\t{exon.name}\n"
+                )
+        print(f"wrote {bed} ({len(pair.target.exons)} exons)")
+    return 0
+
+
+def _add_align(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "align", help="whole genome alignment of two FASTA files"
+    )
+    parser.add_argument("target", type=Path)
+    parser.add_argument("query", type=Path)
+    parser.add_argument(
+        "--aligner",
+        choices=("darwin", "lastz"),
+        default="darwin",
+        help="gapped (Darwin-WGA) or ungapped (LASTZ-like) filtering",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--plus-only", action="store_true")
+    parser.set_defaults(func=_cmd_align)
+
+
+def _load_single(path: Path):
+    records = read_fasta(path)
+    if not records:
+        raise SystemExit(f"{path}: no FASTA records")
+    if len(records) > 1:
+        print(
+            f"warning: {path} has {len(records)} records; using the first",
+            file=sys.stderr,
+        )
+    return records[0]
+
+
+def _cmd_align(args) -> int:
+    target = _load_single(args.target)
+    query = _load_single(args.query)
+    if args.aligner == "darwin":
+        from dataclasses import replace
+
+        config = DarwinWGAConfig(both_strands=not args.plus_only)
+        result = DarwinWGA(config).align(target, query)
+    else:
+        from .lastz import LastzConfig
+
+        config = LastzConfig(both_strands=not args.plus_only)
+        result = LastzAligner(config).align(target, query)
+    workload = result.workload
+    print(
+        f"{len(result.alignments)} alignments "
+        f"({result.total_matches:,} matched bp); "
+        f"workload: {workload.seed_hits:,} seed hits, "
+        f"{workload.filter_tiles:,} filter tiles, "
+        f"{workload.extension_tiles:,} extension tiles"
+    )
+    if args.out is not None:
+        write_maf(result.alignments, target, query, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _add_chain(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chain", help="chain a MAF into UCSC chains (axtChain-like)"
+    )
+    parser.add_argument("maf", type=Path)
+    parser.add_argument("target", type=Path)
+    parser.add_argument("query", type=Path)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--linear-gap", choices=("loose", "medium"), default="loose"
+    )
+    parser.set_defaults(func=_cmd_chain)
+
+
+def _cmd_chain(args) -> int:
+    from .io import read_maf
+
+    alignments = read_maf(args.maf)
+    target = _load_single(args.target)
+    query = _load_single(args.query)
+    gap_costs = (
+        GapCosts.loose() if args.linear_gap == "loose" else GapCosts.medium()
+    )
+    chains = build_chains(alignments, gap_costs)
+    print(
+        f"{len(chains)} chains, {total_matches(chains):,} matched bp; "
+        f"top-10 scores: "
+        f"{[round(s) for s in top_chain_scores(chains, 10)]}"
+    )
+    if args.out is not None:
+        write_chains(
+            chains,
+            target.name or "target",
+            len(target),
+            query.name or "query",
+            len(query),
+            args.out,
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _add_model(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "model", help="run the hardware cost model on a workload"
+    )
+    parser.add_argument("--seed-hits", type=int, default=1_362_000_000)
+    parser.add_argument(
+        "--filter-tiles", type=int, default=14_585_000_000
+    )
+    parser.add_argument("--extension-tiles", type=int, default=4_400_000)
+    parser.add_argument(
+        "--asic-table", action="store_true", help="print Table IV"
+    )
+    parser.set_defaults(func=_cmd_model)
+
+
+def _cmd_model(args) -> int:
+    workload = Workload(
+        seed_hits=args.seed_hits,
+        filter_tiles=args.filter_tiles,
+        filter_cells=args.filter_tiles * 320 * 65,
+        extension_tiles=args.extension_tiles,
+    )
+    model = CostModel.default()
+    iso = model.iso_software_runtime(workload)
+    fpga = model.fpga_runtime(workload)
+    asic = model.asic_runtime(workload)
+    print(f"iso-sensitive software : {iso:,.0f} s")
+    print(
+        f"Darwin-WGA FPGA        : {fpga.total:,.0f} s "
+        f"(seed {fpga.seeding:,.0f} / filter {fpga.filtering:,.0f} / "
+        f"extend {fpga.extension:,.0f})"
+    )
+    print(f"Darwin-WGA ASIC        : {asic.total:,.0f} s")
+    print(
+        f"FPGA performance/$     : "
+        f"{model.fpga_perf_per_dollar_improvement(workload):.1f}x"
+    )
+    print(
+        f"ASIC performance/W     : "
+        f"{model.asic_perf_per_watt_improvement(workload):.0f}x"
+    )
+    if args.asic_table:
+        print()
+        print(asic_estimate().table())
+    return 0
+
+
+def _add_mask(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "mask", help="soft-mask repeats/low-complexity in a FASTA"
+    )
+    parser.add_argument("fasta", type=Path)
+    parser.add_argument("--out", type=Path, required=True)
+    parser.add_argument(
+        "--method", choices=("entropy", "frequency"), default="frequency"
+    )
+    parser.add_argument("--word-length", type=int, default=12)
+    parser.add_argument("--threshold-multiple", type=float, default=50.0)
+    parser.set_defaults(func=_cmd_mask)
+
+
+def _cmd_mask(args) -> int:
+    from .genome import (
+        apply_soft_mask,
+        entropy_mask,
+        frequency_mask,
+        mask_stats,
+        read_fasta,
+    )
+
+    masked = []
+    for record in read_fasta(args.fasta):
+        if args.method == "entropy":
+            mask = entropy_mask(record)
+        else:
+            mask = frequency_mask(
+                record,
+                word_length=args.word_length,
+                threshold_multiple=args.threshold_multiple,
+            )
+        stats = mask_stats(mask)
+        print(
+            f"{record.name}: {stats.fraction:.2%} masked "
+            f"({len(stats.intervals)} intervals)"
+        )
+        masked.append(apply_soft_mask(record, mask))
+    write_fasta(masked, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _add_net(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "net", help="net chains over the target (chainNet-like)"
+    )
+    parser.add_argument("maf", type=Path)
+    parser.add_argument("target", type=Path)
+    parser.add_argument("query", type=Path)
+    parser.add_argument("--min-span", type=int, default=25)
+    parser.set_defaults(func=_cmd_net)
+
+
+def _cmd_net(args) -> int:
+    from .chain import build_net
+    from .io import read_maf
+
+    alignments = read_maf(args.maf)
+    target = _load_single(args.target)
+    chains = build_chains(alignments)
+    net = build_net(chains, len(target), min_span=args.min_span)
+    print(
+        f"{len(net.entries)} top-level entries, "
+        f"{len(net.all_entries())} total, "
+        f"fill {net.fill_fraction():.1%} of target"
+    )
+    for entry in net.all_entries():
+        indent = "  " * (entry.level - 1)
+        print(
+            f"{indent}level {entry.level}: "
+            f"[{entry.target_start:,}, {entry.target_end:,}) "
+            f"score={entry.chain.score:,.0f}"
+        )
+    return 0
+
+
+def _add_tblastx(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "tblastx",
+        help="translated homology search between two FASTA files",
+    )
+    parser.add_argument("target", type=Path)
+    parser.add_argument("query", type=Path)
+    parser.add_argument("--threshold", type=int, default=60)
+    parser.add_argument("--max-hits", type=int, default=20)
+    parser.set_defaults(func=_cmd_tblastx)
+
+
+def _cmd_tblastx(args) -> int:
+    from .annotate import TblastxParams, translated_search
+
+    target = _load_single(args.target)
+    query = _load_single(args.query)
+    hits = translated_search(
+        target,
+        query,
+        TblastxParams(threshold=args.threshold),
+        max_hits=args.max_hits,
+    )
+    print(f"{len(hits)} translated hits (threshold {args.threshold})")
+    for hit in hits:
+        print(
+            f"  score={hit.score:>5} "
+            f"target[{hit.target_start:,}, {hit.target_end:,}) "
+            f"frame {hit.target_frame} <-> "
+            f"query[{hit.query_start:,}, {hit.query_end:,}) "
+            f"frame {hit.query_frame}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Darwin-WGA reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_align(subparsers)
+    _add_chain(subparsers)
+    _add_model(subparsers)
+    _add_mask(subparsers)
+    _add_net(subparsers)
+    _add_tblastx(subparsers)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Darwin-WGA core: configuration, gapped filter, GACT/GACT-X, pipeline."""
+
+from .anchors import CoverageGrid
+from .config import DarwinWGAConfig, ExtensionParams, FilterParams
+from .gact import (
+    GactExtensionResult,
+    GactParams,
+    gact_extend,
+    tile_size_for_memory,
+)
+from .gact_x import (
+    ExtensionResult,
+    TileTrace,
+    gact_x_extend,
+    score_cigar,
+    truncate_cigar,
+)
+from .gapped_filter import GappedFilterResult, gapped_filter
+from .report import (
+    alignment_detail,
+    chain_table,
+    dotplot,
+    workload_summary,
+)
+from .pipeline import (
+    DarwinWGA,
+    WGAResult,
+    Workload,
+    align_assemblies,
+    align_pair,
+)
+
+__all__ = [
+    "CoverageGrid",
+    "DarwinWGAConfig",
+    "ExtensionParams",
+    "FilterParams",
+    "GactExtensionResult",
+    "GactParams",
+    "gact_extend",
+    "tile_size_for_memory",
+    "ExtensionResult",
+    "TileTrace",
+    "gact_x_extend",
+    "score_cigar",
+    "truncate_cigar",
+    "GappedFilterResult",
+    "gapped_filter",
+    "DarwinWGA",
+    "WGAResult",
+    "Workload",
+    "align_pair",
+    "align_assemblies",
+    "alignment_detail",
+    "chain_table",
+    "dotplot",
+    "workload_summary",
+]

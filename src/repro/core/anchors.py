@@ -1,0 +1,66 @@
+"""Anchor absorption: suppressing duplicate extensions (section III-D).
+
+Darwin-WGA hashes the cells covered by each produced alignment; an anchor
+that falls on a previously aligned cell would re-extend to (a piece of)
+the same alignment, so it is absorbed — the same idea as LASTZ's anchor
+absorption.  Coverage is tracked on a coarse grid: a cell ``(t, q)`` maps
+to ``(t // g, q // g)``; walking an alignment path marks every grid cell
+it touches, and anchor membership is one set lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..align.alignment import Alignment, AnchorHit
+
+
+class CoverageGrid:
+    """Grid-hash of alignment-covered (target, query) cells per strand."""
+
+    def __init__(self, granularity: int = 64) -> None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self._covered: Set[Tuple[int, int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._covered)
+
+    def _key(self, t: int, q: int, strand: int) -> Tuple[int, int, int]:
+        g = self.granularity
+        return (t // g, q // g, strand)
+
+    def _mark(self, t: int, q: int, strand: int) -> None:
+        # Mark the cell and its 8 neighbours: filter anchors (x_max of a
+        # banded tile) can sit up to a band-width off the final extension
+        # path, so coverage is dilated by one grid cell.
+        tc, qc, s = self._key(t, q, strand)
+        for dt in (-1, 0, 1):
+            for dq in (-1, 0, 1):
+                self._covered.add((tc + dt, qc + dq, s))
+
+    def add_alignment(self, alignment: Alignment) -> None:
+        """Mark every grid cell the alignment path passes through."""
+        t = alignment.target_start
+        q = alignment.query_start
+        strand = alignment.strand
+        step = max(1, self.granularity // 2)
+        for op, length in alignment.cigar:
+            dt = 1 if op in ("=", "X", "D") else 0
+            dq = 1 if op in ("=", "X", "I") else 0
+            consumed = 0
+            while consumed < length:
+                self._mark(t, q, strand)
+                advance = min(step, length - consumed)
+                t += dt * advance
+                q += dq * advance
+                consumed += advance
+        self._mark(t, q, strand)
+
+    def absorbs(self, anchor: AnchorHit) -> bool:
+        """True when the anchor lies on an already aligned region."""
+        return (
+            self._key(anchor.target_pos, anchor.query_pos, anchor.strand)
+            in self._covered
+        )

@@ -1,0 +1,250 @@
+"""GACT-X: tiled, X-dropped extension of anchors (paper section III-D).
+
+GACT-X aligns arbitrarily long regions with constant traceback memory by
+processing overlapping tiles of size ``T_e``.  Within a tile the X-drop
+kernel (:mod:`repro.align.xdrop`) computes a Needleman-Wunsch-scored
+extension from the tile origin; the alignment path is stitched across
+tiles with these rules:
+
+* traceback pointers within the trailing *overlap region* (the last ``O``
+  rows/columns) are ignored — the next tile recomputes that region;
+* if ``x_max`` falls before the overlap region the extension has
+  naturally slowed and the next tile starts exactly at ``x_max``;
+* extension in a direction terminates when a tile's ``V_max`` is zero or
+  negative, or when the tile makes no forward progress.
+
+Left extension reuses the same loop on reversed sequences.  An anchor is
+extended both ways and the merged path is rescored from its CIGAR, so gap
+runs that straddle the anchor or a tile boundary are charged correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..align.alignment import Alignment, AnchorHit
+from ..align.cigar import Cigar
+from ..align.scoring import ScoringScheme
+from ..align.xdrop import xdrop_extend
+from ..genome.sequence import Sequence
+from .config import ExtensionParams
+
+
+@dataclass(frozen=True)
+class TileTrace:
+    """Workload record of one extension tile (feeds the hardware model)."""
+
+    rows: int
+    cells: int
+    row_windows: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """A stitched two-sided extension of one anchor."""
+
+    alignment: Optional[Alignment]
+    tiles: Tuple[TileTrace, ...]
+
+    @property
+    def tile_count(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def cells(self) -> int:
+        return sum(tile.cells for tile in self.tiles)
+
+
+def truncate_cigar(cigar: Cigar, boundary: int) -> Tuple[Cigar, int, int]:
+    """Cut a tile path at the overlap boundary.
+
+    Walks the CIGAR from the tile origin and stops before either the row
+    or the column index would exceed ``boundary``.  Returns the truncated
+    prefix and the (row, column) cell it ends on.
+    """
+    runs = []
+    i = j = 0
+    for op, length in cigar:
+        di = 1 if op in ("=", "X", "I") else 0
+        dj = 1 if op in ("=", "X", "D") else 0
+        take = length
+        if di:
+            take = min(take, boundary - i)
+        if dj:
+            take = min(take, boundary - j)
+        if take < length:
+            if take > 0:
+                runs.append((op, take))
+                i += di * take
+                j += dj * take
+            break
+        runs.append((op, length))
+        i += di * length
+        j += dj * length
+    return Cigar.from_runs(runs), i, j
+
+
+def score_cigar(
+    cigar: Cigar,
+    target: Sequence,
+    query: Sequence,
+    target_start: int,
+    query_start: int,
+    scoring: ScoringScheme,
+) -> int:
+    """Score an alignment path against the actual sequences."""
+    matrix = scoring.matrix.astype(np.int64)
+    ti, qi = target_start, query_start
+    total = 0
+    for op, length in cigar:
+        if op in ("=", "X"):
+            total += int(
+                matrix[
+                    target.codes[ti : ti + length],
+                    query.codes[qi : qi + length],
+                ].sum()
+            )
+            ti += length
+            qi += length
+        else:
+            total -= scoring.gap_cost(length)
+            if op == "D":
+                ti += length
+            else:
+                qi += length
+    return total
+
+
+def _extend_one_direction(
+    target: Sequence,
+    query: Sequence,
+    scoring: ScoringScheme,
+    params: ExtensionParams,
+) -> Tuple[Cigar, int, int, List[TileTrace]]:
+    """Tiled extension over ``target``/``query`` starting at position 0.
+
+    Returns ``(cigar, target_span, query_span, tile_traces)``.
+    """
+    tile_size = params.tile_size
+    boundary = tile_size - params.overlap
+    cur_t = 0
+    cur_q = 0
+    pieces: List[Cigar] = []
+    traces: List[TileTrace] = []
+
+    while cur_t < len(target) and cur_q < len(query):
+        t_tile = target.slice(cur_t, cur_t + tile_size)
+        q_tile = query.slice(cur_q, cur_q + tile_size)
+        extension = xdrop_extend(t_tile, q_tile, scoring, params.ydrop)
+        traces.append(
+            TileTrace(
+                rows=extension.rows_computed,
+                cells=extension.cells,
+                row_windows=extension.row_windows,
+            )
+        )
+        if extension.score <= 0 or extension.max_i == 0:
+            break
+        in_overlap = (
+            extension.max_i > boundary or extension.max_j > boundary
+        )
+        # A path is at the sequence edge only when its tile is truncated
+        # by the sequence end and the maximum reached that end — a
+        # full-size tile boundary is handled by the overlap logic instead.
+        target_exhausted = (
+            cur_t + len(t_tile) >= len(target)
+            and extension.max_j >= len(t_tile)
+        )
+        query_exhausted = (
+            cur_q + len(q_tile) >= len(query)
+            and extension.max_i >= len(q_tile)
+        )
+        at_edge = target_exhausted or query_exhausted
+        if in_overlap and not at_edge:
+            piece, di, dj = truncate_cigar(extension.cigar, boundary)
+            if di == 0 and dj == 0:
+                # The whole path lives in the overlap region; keep it and
+                # stop rather than loop without progress.
+                pieces.append(extension.cigar)
+                cur_t += extension.max_j
+                cur_q += extension.max_i
+                break
+        else:
+            piece, di, dj = (
+                extension.cigar,
+                extension.max_i,
+                extension.max_j,
+            )
+        pieces.append(piece)
+        cur_t += dj
+        cur_q += di
+        if not in_overlap or at_edge:
+            # x_max before the overlap region means X-drop ended the
+            # alignment inside the tile; at a sequence edge there is
+            # nothing left to extend into.
+            break
+
+    merged = Cigar(())
+    for piece in pieces:
+        merged = merged + piece
+    return merged, cur_t, cur_q, traces
+
+
+def _reversed_sequence(seq: Sequence) -> Sequence:
+    return Sequence(seq.codes[::-1], name=seq.name)
+
+
+def gact_x_extend(
+    target: Sequence,
+    query: Sequence,
+    anchor: AnchorHit,
+    scoring: ScoringScheme,
+    params: ExtensionParams,
+) -> ExtensionResult:
+    """Extend an anchor in both directions with GACT-X.
+
+    The right extension includes the anchor base pair; the left extension
+    runs on the reversed prefixes.  The merged alignment is rescored from
+    its CIGAR and reported only when it reaches ``params.threshold``
+    (``H_e``).
+    """
+    right_cigar, right_t, right_q, right_tiles = _extend_one_direction(
+        target.slice(anchor.target_pos, len(target)),
+        query.slice(anchor.query_pos, len(query)),
+        scoring,
+        params,
+    )
+    left_cigar, left_t, left_q, left_tiles = _extend_one_direction(
+        _reversed_sequence(target.slice(0, anchor.target_pos)),
+        _reversed_sequence(query.slice(0, anchor.query_pos)),
+        scoring,
+        params,
+    )
+
+    cigar = left_cigar.reversed() + right_cigar
+    tiles = tuple(left_tiles) + tuple(right_tiles)
+    if len(cigar) == 0:
+        return ExtensionResult(alignment=None, tiles=tiles)
+
+    target_start = anchor.target_pos - left_t
+    query_start = anchor.query_pos - left_q
+    score = score_cigar(
+        cigar, target, query, target_start, query_start, scoring
+    )
+    if score < params.threshold:
+        return ExtensionResult(alignment=None, tiles=tiles)
+    alignment = Alignment(
+        target_name=target.name,
+        query_name=query.name,
+        target_start=target_start,
+        target_end=anchor.target_pos + right_t,
+        query_start=query_start,
+        query_end=anchor.query_pos + right_q,
+        score=score,
+        cigar=cigar,
+        strand=anchor.strand,
+    )
+    return ExtensionResult(alignment=alignment, tiles=tiles)

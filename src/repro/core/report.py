@@ -1,0 +1,141 @@
+"""Human-readable reports of WGA results.
+
+Summaries, per-chain tables and text dotplots for interactive inspection
+— the library's stand-in for loading chains into the UCSC browser
+(paper Figures 3 and 9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as TypingSequence
+
+import numpy as np
+
+from ..align.alignment import Alignment
+from ..chain.chainer import Chain
+from ..genome.sequence import Sequence
+from .pipeline import WGAResult
+
+
+def workload_summary(result: WGAResult) -> str:
+    """One-paragraph workload report (the Table V columns for one run)."""
+    w = result.workload
+    lines = [
+        f"seed hits          : {w.seed_hits:>12,}",
+        f"filter tiles (BSW) : {w.filter_tiles:>12,}",
+        f"filter cells       : {w.filter_cells:>12,}",
+        f"anchors            : {w.anchors:>12,} "
+        f"({w.absorbed_anchors:,} absorbed)",
+        f"extension tiles    : {w.extension_tiles:>12,}",
+        f"extension cells    : {w.extension_cells:>12,}",
+        f"alignments         : {len(result.alignments):>12,}",
+        f"matched base pairs : {result.total_matches:>12,}",
+    ]
+    return "\n".join(lines)
+
+
+def chain_table(chains: TypingSequence[Chain], limit: int = 20) -> str:
+    """A per-chain summary table sorted by score."""
+    header = (
+        f"{'#':>3} {'score':>12} {'blocks':>6} {'matches':>9} "
+        f"{'identity':>8} {'target span':>22} {'strand':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = sorted(chains, key=lambda c: -c.score)[:limit]
+    for i, chain in enumerate(ordered, 1):
+        identity = (
+            chain.matches / chain.aligned_pairs
+            if chain.aligned_pairs
+            else 0.0
+        )
+        span = f"[{chain.target_start:,}, {chain.target_end:,})"
+        strand = "+" if chain.strand == 1 else "-"
+        lines.append(
+            f"{i:>3} {chain.score:>12,.0f} {len(chain):>6} "
+            f"{chain.matches:>9,} {identity:>8.1%} {span:>22} {strand:>6}"
+        )
+    return "\n".join(lines)
+
+
+def alignment_detail(
+    alignment: Alignment,
+    target: Sequence,
+    query: Sequence,
+    width: int = 60,
+    max_rows: int = 10,
+) -> str:
+    """BLAST-style pairwise text rendering of one alignment."""
+    q_seq = (
+        query.reverse_complement() if alignment.strand == -1 else query
+    )
+    t_line: List[str] = []
+    m_line: List[str] = []
+    q_line: List[str] = []
+    ti, qi = alignment.target_start, alignment.query_start
+    for op, length in alignment.cigar:
+        for _ in range(length):
+            if op in ("=", "X"):
+                t_char = str(target[ti : ti + 1])
+                q_char = str(q_seq[qi : qi + 1])
+                t_line.append(t_char)
+                q_line.append(q_char)
+                m_line.append("|" if op == "=" else " ")
+                ti += 1
+                qi += 1
+            elif op == "D":
+                t_line.append(str(target[ti : ti + 1]))
+                q_line.append("-")
+                m_line.append(" ")
+                ti += 1
+            else:
+                t_line.append("-")
+                q_line.append(str(q_seq[qi : qi + 1]))
+                m_line.append(" ")
+                qi += 1
+    rows = []
+    for start in range(0, len(t_line), width):
+        if len(rows) // 4 >= max_rows:
+            rows.append(f"... ({len(t_line) - start} more columns)")
+            break
+        rows.append("T " + "".join(t_line[start : start + width]))
+        rows.append("  " + "".join(m_line[start : start + width]))
+        rows.append("Q " + "".join(q_line[start : start + width]))
+        rows.append("")
+    header = (
+        f"score={alignment.score:,} identity={alignment.identity():.1%} "
+        f"target=[{alignment.target_start:,}, {alignment.target_end:,}) "
+        f"query=[{alignment.query_start:,}, {alignment.query_end:,}) "
+        f"strand={'+' if alignment.strand == 1 else '-'}"
+    )
+    return "\n".join([header, ""] + rows)
+
+
+def dotplot(
+    alignments: TypingSequence[Alignment],
+    target_length: int,
+    query_length: int,
+    size: int = 40,
+) -> str:
+    """ASCII dotplot of alignment positions (``+`` forward, ``-``
+    reverse strand)."""
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    grid = np.full((size, size), ".", dtype="<U1")
+    for alignment in alignments:
+        steps = max(
+            2, (alignment.target_end - alignment.target_start) * size
+            // max(1, target_length),
+        )
+        for step in range(steps + 1):
+            frac = step / steps
+            t = alignment.target_start + frac * (
+                alignment.target_end - alignment.target_start
+            )
+            q = alignment.query_start + frac * (
+                alignment.query_end - alignment.query_start
+            )
+            row = min(size - 1, int(q * size / max(1, query_length)))
+            col = min(size - 1, int(t * size / max(1, target_length)))
+            grid[row, col] = "+" if alignment.strand == 1 else "-"
+    lines = ["".join(row) for row in grid]
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Genome substrate: sequences, I/O, synthesis, evolution, shuffles."""
+
+from . import alphabet
+from .assembly import Assembly, split_into_chromosomes
+from .masking import (
+    MaskStats,
+    apply_soft_mask,
+    entropy_mask,
+    frequency_mask,
+    mask_intervals,
+    mask_stats,
+)
+from .evolution import (
+    sample_islands,
+    EvolutionParams,
+    Interval,
+    Lineage,
+    SpeciesPair,
+    evolve,
+    k80_difference_probabilities,
+    make_species_pair,
+    plant_exons,
+)
+from .fasta import fasta_string, iter_fasta, read_fasta, write_fasta
+from .sequence import Sequence
+from .shuffle import kmer_counts, shuffle_preserving_kmers
+from .synthesis import (
+    DEFAULT_DINUCLEOTIDE_MODEL,
+    dinucleotide_counts,
+    markov_genome,
+    plant_repeats,
+    uniform_genome,
+)
+
+__all__ = [
+    "alphabet",
+    "Assembly",
+    "split_into_chromosomes",
+    "MaskStats",
+    "apply_soft_mask",
+    "entropy_mask",
+    "frequency_mask",
+    "mask_intervals",
+    "mask_stats",
+    "Sequence",
+    "EvolutionParams",
+    "Interval",
+    "Lineage",
+    "SpeciesPair",
+    "evolve",
+    "k80_difference_probabilities",
+    "make_species_pair",
+    "plant_exons",
+    "sample_islands",
+    "fasta_string",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "kmer_counts",
+    "shuffle_preserving_kmers",
+    "DEFAULT_DINUCLEOTIDE_MODEL",
+    "dinucleotide_counts",
+    "markov_genome",
+    "plant_repeats",
+    "uniform_genome",
+]

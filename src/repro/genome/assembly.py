@@ -1,0 +1,145 @@
+"""Multi-chromosome genome assemblies.
+
+The paper's inputs are assemblies with multiple nuclear chromosomes
+(mitochondrial DNA and unmapped contigs removed, section V-A).  An
+:class:`Assembly` is an ordered collection of named chromosomes with
+whole-assembly statistics, FASTA round-tripping, and the bookkeeping the
+whole-assembly aligner (:func:`repro.core.pipeline.align_assemblies`)
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from .fasta import read_fasta, write_fasta
+from .sequence import Sequence
+
+
+@dataclass
+class Assembly:
+    """A named, ordered set of chromosome sequences."""
+
+    name: str
+    chromosomes: List[Sequence] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for chrom in self.chromosomes:
+            if not chrom.name:
+                raise ValueError("assembly chromosomes must be named")
+            if chrom.name in seen:
+                raise ValueError(
+                    f"duplicate chromosome name {chrom.name!r}"
+                )
+            seen.add(chrom.name)
+
+    def __len__(self) -> int:
+        """Number of chromosomes."""
+        return len(self.chromosomes)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self.chromosomes)
+
+    def __getitem__(self, name: str) -> Sequence:
+        for chrom in self.chromosomes:
+            if chrom.name == name:
+                return chrom
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(chrom.name == name for chrom in self.chromosomes)
+
+    @property
+    def total_length(self) -> int:
+        """Total assembly size in base pairs."""
+        return sum(len(chrom) for chrom in self.chromosomes)
+
+    def names(self) -> List[str]:
+        return [chrom.name for chrom in self.chromosomes]
+
+    def sizes(self) -> Dict[str, int]:
+        """Chromosome name -> length mapping (for chain/MAF headers)."""
+        return {chrom.name: len(chrom) for chrom in self.chromosomes}
+
+    def add(self, chromosome: Sequence) -> None:
+        if not chromosome.name:
+            raise ValueError("chromosome must be named")
+        if chromosome.name in self:
+            raise ValueError(
+                f"duplicate chromosome name {chromosome.name!r}"
+            )
+        self.chromosomes.append(chromosome)
+
+    def gc_content(self) -> float:
+        """Assembly-wide GC fraction."""
+        if self.total_length == 0:
+            return 0.0
+        gc_weighted = sum(
+            chrom.gc_content() * len(chrom) for chrom in self.chromosomes
+        )
+        return gc_weighted / self.total_length
+
+    def n50(self) -> int:
+        """The N50 contiguity statistic of the chromosome lengths."""
+        lengths = sorted(
+            (len(chrom) for chrom in self.chromosomes), reverse=True
+        )
+        if not lengths:
+            return 0
+        half = sum(lengths) / 2
+        running = 0
+        for length in lengths:
+            running += length
+            if running >= half:
+                return length
+        return lengths[-1]
+
+    @classmethod
+    def from_fasta(cls, path, name: str) -> "Assembly":
+        """Load an assembly from a FASTA file."""
+        return cls(name=name, chromosomes=read_fasta(path))
+
+    def to_fasta(self, path) -> None:
+        write_fasta(self.chromosomes, path)
+
+    @classmethod
+    def from_sequences(
+        cls, name: str, sequences: Iterable[Sequence]
+    ) -> "Assembly":
+        return cls(name=name, chromosomes=list(sequences))
+
+
+def split_into_chromosomes(
+    genome: Sequence,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> Assembly:
+    """Split one long sequence into a multi-chromosome assembly.
+
+    Breakpoints are uniform-random (or evenly spaced when ``rng`` is
+    None), modelling how a simulated genome maps onto karyotypes.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    length = len(genome)
+    if count > max(1, length):
+        raise ValueError("more chromosomes than bases")
+    if rng is None:
+        cuts = [length * i // count for i in range(1, count)]
+    else:
+        cuts = sorted(
+            int(c) for c in rng.choice(length, size=count - 1, replace=False)
+        )
+    bounds = [0] + list(cuts) + [length]
+    chromosomes = []
+    for i, (start, end) in enumerate(zip(bounds, bounds[1:]), start=1):
+        chrom = genome.slice(start, end)
+        chromosomes.append(Sequence(chrom.codes, name=f"chr{i}"))
+    return Assembly(
+        name=name or genome.name or "assembly", chromosomes=chromosomes
+    )

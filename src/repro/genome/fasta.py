@@ -1,0 +1,85 @@
+"""Minimal FASTA reader/writer.
+
+The paper's inputs are genome assemblies distributed as FASTA; this module
+round-trips :class:`~repro.genome.sequence.Sequence` objects through the
+format so that examples and benchmarks can persist synthetic genomes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .sequence import Sequence
+
+_PathOrFile = Union[str, Path, TextIO]
+
+
+def _opened(source: _PathOrFile, mode: str):
+    """Return ``(file_object, needs_close)`` for a path or file-like."""
+    if isinstance(source, (str, Path)):
+        return open(source, mode), True
+    return source, False
+
+
+def iter_fasta(source: _PathOrFile) -> Iterator[Sequence]:
+    """Yield sequences from a FASTA path or open text handle.
+
+    Header lines keep only the first whitespace-separated token as the
+    sequence name, matching common genomics-tool behaviour.
+    """
+    handle, needs_close = _opened(source, "r")
+    try:
+        name = None
+        chunks: List[str] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield Sequence.from_string("".join(chunks), name=name)
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA data before first header line")
+                chunks.append(line)
+        if name is not None:
+            yield Sequence.from_string("".join(chunks), name=name)
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def read_fasta(source: _PathOrFile) -> List[Sequence]:
+    """Read every record of a FASTA file into a list."""
+    return list(iter_fasta(source))
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    destination: _PathOrFile,
+    line_width: int = 60,
+) -> None:
+    """Write sequences in FASTA format with wrapped sequence lines."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    handle, needs_close = _opened(destination, "w")
+    try:
+        for seq in sequences:
+            handle.write(f">{seq.name}\n")
+            text = str(seq)
+            for start in range(0, len(text), line_width):
+                handle.write(text[start : start + line_width] + "\n")
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def fasta_string(sequences: Iterable[Sequence], line_width: int = 60) -> str:
+    """Render sequences as a FASTA-formatted string."""
+    buffer = io.StringIO()
+    write_fasta(sequences, buffer, line_width=line_width)
+    return buffer.getvalue()

@@ -1,0 +1,110 @@
+"""The :class:`Sequence` type — an immutable, numerically encoded DNA string.
+
+All pipeline stages operate on :class:`Sequence` objects rather than Python
+strings: the numeric representation indexes substitution matrices directly
+and supports vectorised dynamic programming via numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+from . import alphabet
+
+
+class Sequence:
+    """An immutable DNA sequence with a name.
+
+    The underlying storage is a ``uint8`` numpy array of codes in
+    ``{A=0, C=1, G=2, T=3, N=4}`` (see :mod:`repro.genome.alphabet`).
+
+    >>> s = Sequence.from_string("ACGT", name="chr1")
+    >>> len(s), str(s)
+    (4, 'ACGT')
+    >>> str(s.reverse_complement())
+    'ACGT'
+    """
+
+    __slots__ = ("_codes", "name")
+
+    def __init__(self, codes: np.ndarray, name: str = "") -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if codes.ndim != 1:
+            raise ValueError("sequence codes must be one-dimensional")
+        if codes.size and codes.max() >= alphabet.ALPHABET_SIZE:
+            raise ValueError("sequence contains codes outside the alphabet")
+        codes.setflags(write=False)
+        self._codes = codes
+        self.name = name
+
+    @classmethod
+    def from_string(cls, text: str, name: str = "") -> "Sequence":
+        """Build a sequence from an ASCII string (case-insensitive)."""
+        return cls(alphabet.encode(text), name=name)
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The read-only ``uint8`` code array."""
+        return self._codes
+
+    def __len__(self) -> int:
+        return int(self._codes.size)
+
+    def __str__(self) -> str:
+        return alphabet.decode(self._codes)
+
+    def __repr__(self) -> str:
+        label = self.name or "<unnamed>"
+        preview = str(self[:12]) + ("..." if len(self) > 12 else "")
+        return f"Sequence({label!r}, len={len(self)}, {preview!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return np.array_equal(self._codes, other._codes)
+
+    def __hash__(self) -> int:
+        return hash((self._codes.tobytes(), len(self)))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._codes.tolist())
+
+    def __getitem__(self, item: Union[int, slice]) -> Union[int, "Sequence"]:
+        if isinstance(item, slice):
+            return Sequence(self._codes[item], name=self.name)
+        return int(self._codes[item])
+
+    def slice(self, start: int, end: int) -> "Sequence":
+        """Return the clamped subsequence ``[start, end)``."""
+        start = max(0, start)
+        end = min(len(self), end)
+        if end < start:
+            end = start
+        return Sequence(self._codes[start:end], name=self.name)
+
+    def reverse_complement(self) -> "Sequence":
+        """Return the reverse complement as a new sequence."""
+        name = f"{self.name}(-)" if self.name else ""
+        return Sequence(alphabet.reverse_complement(self._codes), name=name)
+
+    def concat(self, other: "Sequence") -> "Sequence":
+        """Return the concatenation ``self + other`` (keeps ``self.name``)."""
+        return Sequence(
+            np.concatenate([self._codes, other._codes]), name=self.name
+        )
+
+    def gc_content(self) -> float:
+        """Fraction of unambiguous bases that are G or C."""
+        unambiguous = self._codes[self._codes < alphabet.NUM_NUCLEOTIDES]
+        if unambiguous.size == 0:
+            return 0.0
+        gc = np.count_nonzero(
+            (unambiguous == alphabet.G) | (unambiguous == alphabet.C)
+        )
+        return gc / unambiguous.size
+
+    def base_counts(self) -> np.ndarray:
+        """Counts of A, C, G, T, N as a length-5 integer array."""
+        return np.bincount(self._codes, minlength=alphabet.ALPHABET_SIZE)

@@ -1,0 +1,139 @@
+"""Synthetic genome generation.
+
+Real assemblies (ce11, cb4, dm6, ...) are not available offline, so the
+benchmarks generate ancestral genomes with realistic base composition and
+then evolve them into species pairs (see :mod:`repro.genome.evolution`).
+Genomes are generated with a first-order Markov model over dinucleotides
+because dinucleotide statistics are pronounced in real genomes (the paper's
+noise analysis explicitly preserves 2-mer statistics when shuffling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as TypingSequence
+
+import numpy as np
+
+from . import alphabet
+from .sequence import Sequence
+
+#: Dinucleotide transition matrix loosely modelled on the depletion of CpG
+#: and enrichment of TpA-like patterns seen in animal genomes.  Rows are the
+#: previous base (A, C, G, T), columns the next base; rows sum to 1.
+DEFAULT_DINUCLEOTIDE_MODEL = np.array(
+    [
+        [0.32, 0.18, 0.22, 0.28],
+        [0.30, 0.25, 0.06, 0.39],
+        [0.26, 0.23, 0.25, 0.26],
+        [0.22, 0.20, 0.26, 0.32],
+    ]
+)
+
+
+def uniform_genome(
+    length: int,
+    rng: np.random.Generator,
+    gc: float = 0.42,
+    name: str = "synthetic",
+) -> Sequence:
+    """Generate an i.i.d. genome with the requested GC content."""
+    if not 0.0 <= gc <= 1.0:
+        raise ValueError("gc must lie in [0, 1]")
+    at = (1.0 - gc) / 2.0
+    probs = np.array([at, gc / 2.0, gc / 2.0, at])
+    codes = rng.choice(alphabet.NUM_NUCLEOTIDES, size=length, p=probs)
+    return Sequence(codes.astype(np.uint8), name=name)
+
+
+def markov_genome(
+    length: int,
+    rng: np.random.Generator,
+    transition_matrix: Optional[np.ndarray] = None,
+    name: str = "synthetic",
+) -> Sequence:
+    """Generate a genome from a first-order Markov (dinucleotide) model.
+
+    ``transition_matrix[prev, next]`` gives the probability of emitting
+    ``next`` after ``prev``; rows must sum to 1.
+    """
+    if length <= 0:
+        return Sequence(np.empty(0, dtype=np.uint8), name=name)
+    matrix = (
+        DEFAULT_DINUCLEOTIDE_MODEL
+        if transition_matrix is None
+        else np.asarray(transition_matrix, dtype=float)
+    )
+    if matrix.shape != (4, 4):
+        raise ValueError("transition matrix must be 4x4")
+    if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("transition matrix rows must sum to 1")
+
+    # Draw all uniforms up front and walk the chain with cumulative rows.
+    cumulative = np.cumsum(matrix, axis=1)
+    uniforms = rng.random(length)
+    codes = np.empty(length, dtype=np.uint8)
+    codes[0] = rng.integers(alphabet.NUM_NUCLEOTIDES)
+    for i in range(1, length):
+        codes[i] = np.searchsorted(cumulative[codes[i - 1]], uniforms[i])
+    return Sequence(codes, name=name)
+
+
+def plant_repeats(
+    genome: Sequence,
+    rng: np.random.Generator,
+    count: int,
+    repeat_length: int,
+    family_size: int = 1,
+) -> Sequence:
+    """Overwrite random loci with copies of repeat elements.
+
+    Repeats are what make seeding noisy (high false-positive seed-hit rates,
+    paper section III-A), so benchmark genomes plant a configurable number
+    of near-identical repeat copies drawn from ``family_size`` families.
+
+    Returns a new genome; the input is unmodified.
+    """
+    if count <= 0 or repeat_length <= 0 or repeat_length > len(genome):
+        return genome
+    codes = genome.codes.copy()
+    families = [
+        rng.integers(
+            alphabet.NUM_NUCLEOTIDES, size=repeat_length, dtype=np.uint8
+        )
+        for _ in range(max(1, family_size))
+    ]
+    max_start = len(genome) - repeat_length
+    for _ in range(count):
+        family = families[rng.integers(len(families))]
+        start = int(rng.integers(max_start + 1))
+        copy = family.copy()
+        # Each copy diverges slightly from its family consensus.
+        n_mut = rng.binomial(repeat_length, 0.05)
+        if n_mut:
+            sites = rng.choice(repeat_length, size=n_mut, replace=False)
+            copy[sites] = rng.integers(
+                alphabet.NUM_NUCLEOTIDES, size=n_mut, dtype=np.uint8
+            )
+        codes[start : start + repeat_length] = copy
+    return Sequence(codes, name=genome.name)
+
+
+def dinucleotide_counts(genome: Sequence) -> np.ndarray:
+    """4x4 matrix of observed dinucleotide counts (N positions excluded)."""
+    codes = genome.codes
+    counts = np.zeros((4, 4), dtype=np.int64)
+    if len(genome) < 2:
+        return counts
+    prev = codes[:-1]
+    nxt = codes[1:]
+    mask = (prev < alphabet.NUM_NUCLEOTIDES) & (nxt < alphabet.NUM_NUCLEOTIDES)
+    np.add.at(counts, (prev[mask], nxt[mask]), 1)
+    return counts
+
+
+def concatenate(parts: TypingSequence[Sequence], name: str) -> Sequence:
+    """Concatenate sequences into one named chromosome-like sequence."""
+    if not parts:
+        return Sequence(np.empty(0, dtype=np.uint8), name=name)
+    codes = np.concatenate([p.codes for p in parts])
+    return Sequence(codes, name=name)

@@ -1,0 +1,110 @@
+"""Hardware models: systolic arrays, memory, platforms, power, cost."""
+
+from .bsw_array import BswArrayModel
+from .cost import CostModel, RuntimeBreakdown, scale_workload
+from .fpga_resources import (
+    BSW_PE_COST,
+    GACTX_PE_COST,
+    VU9P,
+    FpgaDevice,
+    PeCost,
+    filter_throughput,
+    fits,
+    max_bsw_arrays,
+    utilisation,
+)
+from .gactx_array import POINTER_BITS, GactXArrayModel
+from .memory import (
+    DramChannelConfig,
+    DramSystem,
+    bandwidth_bound_tiles_per_sec,
+    bsw_tile_bytes,
+    gactx_tile_bytes,
+)
+from .platform import (
+    AsicPlatform,
+    CpuPlatform,
+    FpgaPlatform,
+    default_asic,
+    default_cpu,
+    default_fpga,
+)
+from .power import (
+    AsicEstimate,
+    ComponentEstimate,
+    CPU_POWER_W,
+    FPGA_POWER_W,
+    asic_estimate,
+    asic_power_w,
+)
+from .schedule import ScheduleResult, saturation_sweep, schedule_tiles
+from .trace import (
+    BURST_BYTES,
+    TraceAccess,
+    TraceSummary,
+    generate_trace,
+    provisioning_check,
+    summarise,
+    tile_accesses,
+)
+from .system import EngineReport, SystemReport, simulate
+from .systolic import (
+    SystolicArrayConfig,
+    dense_tile_cycles,
+    stripe_cycles,
+    stripes_of,
+    tile_cycles_from_windows,
+)
+
+__all__ = [
+    "BswArrayModel",
+    "CostModel",
+    "RuntimeBreakdown",
+    "scale_workload",
+    "BSW_PE_COST",
+    "GACTX_PE_COST",
+    "VU9P",
+    "FpgaDevice",
+    "PeCost",
+    "filter_throughput",
+    "fits",
+    "max_bsw_arrays",
+    "utilisation",
+    "POINTER_BITS",
+    "GactXArrayModel",
+    "DramChannelConfig",
+    "DramSystem",
+    "bandwidth_bound_tiles_per_sec",
+    "bsw_tile_bytes",
+    "gactx_tile_bytes",
+    "AsicPlatform",
+    "CpuPlatform",
+    "FpgaPlatform",
+    "default_asic",
+    "default_cpu",
+    "default_fpga",
+    "AsicEstimate",
+    "ComponentEstimate",
+    "CPU_POWER_W",
+    "FPGA_POWER_W",
+    "asic_estimate",
+    "asic_power_w",
+    "SystolicArrayConfig",
+    "dense_tile_cycles",
+    "stripe_cycles",
+    "stripes_of",
+    "tile_cycles_from_windows",
+    "EngineReport",
+    "SystemReport",
+    "simulate",
+    "ScheduleResult",
+    "saturation_sweep",
+    "schedule_tiles",
+    "BURST_BYTES",
+    "TraceAccess",
+    "TraceSummary",
+    "generate_trace",
+    "provisioning_check",
+    "summarise",
+    "tile_accesses",
+]

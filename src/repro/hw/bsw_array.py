@@ -1,0 +1,49 @@
+"""Cycle model of the Banded Smith-Waterman filter array.
+
+Because the BSW band is fixed, the stripe windows are closed-form
+functions of the stripe number (paper equations 4-5)::
+
+    j_start = max(0, (n - 1) * N_pe + 1 - B)
+    j_stop  = min(r_len - 1, n * N_pe + B)
+
+so a filter tile's cycle count — and hence the array's tile throughput —
+follows directly from the tile geometry.  With the paper's FPGA
+configuration (32 PEs at 150 MHz, 50 arrays, ``T_f``=320, ``B``=32) this
+model lands at the ~6M tiles/s the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .systolic import SystolicArrayConfig, stripe_cycles
+
+
+@dataclass(frozen=True)
+class BswArrayModel:
+    """Throughput/latency model of one BSW array."""
+
+    config: SystolicArrayConfig
+    tile_size: int = 320
+    band: int = 32
+
+    def tile_cycles(self) -> int:
+        """Cycles to process one filter tile (equations 4-5 windows)."""
+        n_pe = self.config.n_pe
+        rows = self.tile_size
+        cols = self.tile_size
+        n_stripes = (rows + n_pe - 1) // n_pe
+        total = self.config.tile_overhead
+        for stripe in range(1, n_stripes + 1):
+            j_start = max(0, (stripe - 1) * n_pe + 1 - self.band)
+            j_stop = min(cols - 1, stripe * n_pe + self.band)
+            if j_stop >= j_start:
+                total += stripe_cycles(j_stop - j_start + 1, self.config)
+        return total
+
+    def tiles_per_second(self) -> float:
+        """Sustained filter-tile throughput of one array."""
+        return self.config.clock_hz / self.tile_cycles()
+
+    def tile_latency_seconds(self) -> float:
+        return self.tile_cycles() / self.config.clock_hz

@@ -1,0 +1,122 @@
+"""FPGA resource model: how many arrays fit on a device.
+
+The paper maps 50 BSW arrays and 2 GACT-X arrays of 32 PEs each onto the
+Xilinx Virtex UltraScale+ (VU9P) of an AWS f1.2xlarge and closes timing
+at 150 MHz (section V-C).  This model assigns per-PE LUT/FF/BRAM budgets
+— calibrated so the paper's mapping fills the device — and answers
+provisioning questions: given a device and a BSW:GACT-X mix, how many
+arrays fit, and what filter throughput does that imply?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .bsw_array import BswArrayModel
+from .systolic import SystolicArrayConfig
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Usable logic resources of one FPGA (after shell/overheads)."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_kb: int
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.bram_kb) <= 0:
+            raise ValueError("device resources must be positive")
+
+
+#: AWS F1's VU9P, with ~25% reserved for the shell and interconnect.
+VU9P = FpgaDevice(name="xcvu9p", luts=885_000, ffs=1_770_000, bram_kb=9_000)
+
+
+@dataclass(frozen=True)
+class PeCost:
+    """Per-PE resource cost of one array flavour."""
+
+    luts: int
+    ffs: int
+    bram_kb: float
+    #: fixed per-array overhead (control FSM, DMA, score collection)
+    array_luts: int = 2500
+    array_ffs: int = 4000
+    array_bram_kb: float = 8.0
+
+
+#: Calibrated so that 50 BSW + 2 GACT-X arrays of 32 PEs fill ~VU9P.
+BSW_PE_COST = PeCost(luts=445, ffs=800, bram_kb=1.0)
+GACTX_PE_COST = PeCost(luts=650, ffs=1100, bram_kb=18.0)
+
+
+def array_cost(cost: PeCost, n_pe: int) -> Tuple[int, int, float]:
+    """Total (LUTs, FFs, BRAM KB) of one array."""
+    return (
+        cost.array_luts + n_pe * cost.luts,
+        cost.array_ffs + n_pe * cost.ffs,
+        cost.array_bram_kb + n_pe * cost.bram_kb,
+    )
+
+
+def utilisation(
+    device: FpgaDevice,
+    bsw_arrays: int,
+    gactx_arrays: int,
+    n_pe: int = 32,
+) -> Tuple[float, float, float]:
+    """(LUT, FF, BRAM) utilisation fractions of a mapping."""
+    bsw = array_cost(BSW_PE_COST, n_pe)
+    gactx = array_cost(GACTX_PE_COST, n_pe)
+    luts = bsw_arrays * bsw[0] + gactx_arrays * gactx[0]
+    ffs = bsw_arrays * bsw[1] + gactx_arrays * gactx[1]
+    bram = bsw_arrays * bsw[2] + gactx_arrays * gactx[2]
+    return (
+        luts / device.luts,
+        ffs / device.ffs,
+        bram / device.bram_kb,
+    )
+
+
+def fits(
+    device: FpgaDevice,
+    bsw_arrays: int,
+    gactx_arrays: int,
+    n_pe: int = 32,
+) -> bool:
+    """Whether a mapping fits within every resource class."""
+    return all(
+        fraction <= 1.0
+        for fraction in utilisation(device, bsw_arrays, gactx_arrays, n_pe)
+    )
+
+
+def max_bsw_arrays(
+    device: FpgaDevice, gactx_arrays: int = 2, n_pe: int = 32
+) -> int:
+    """Largest BSW array count that still fits alongside the GACT-X
+    arrays (the paper's provisioning question)."""
+    count = 0
+    while fits(device, count + 1, gactx_arrays, n_pe):
+        count += 1
+        if count > 10_000:
+            raise RuntimeError("unbounded fit; check resource model")
+    return count
+
+
+def filter_throughput(
+    device: FpgaDevice,
+    clock_hz: float = 150e6,
+    gactx_arrays: int = 2,
+    n_pe: int = 32,
+    tile_size: int = 320,
+    band: int = 32,
+) -> Tuple[int, float]:
+    """(BSW arrays that fit, aggregate filter tiles/s) on a device."""
+    arrays = max_bsw_arrays(device, gactx_arrays, n_pe)
+    config = SystolicArrayConfig(n_pe=n_pe, clock_hz=clock_hz)
+    model = BswArrayModel(config=config, tile_size=tile_size, band=band)
+    return arrays, arrays * model.tiles_per_second()

@@ -1,0 +1,80 @@
+"""DRAM traffic, bandwidth and energy model (Ramulator/DRAMPower-lite).
+
+The accelerator streams tile sequences from DRAM and returns scores or
+traceback pointers; the ASIC is provisioned so that DRAM bandwidth — not
+compute — is the bottleneck (paper section VI-A).  This module models
+per-tile traffic, channel bandwidth, and a linear access-energy power
+model calibrated to the paper's 3.10 W for four DDR4-2400 channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bits per base as stored for streaming (packed; the BRAM uses 3 bits,
+#: DRAM bursts are modelled at 4 bits for alignment).
+STREAM_BITS_PER_BASE = 4
+
+#: Bits per traceback pointer returned to the host per alignment column.
+TRACEBACK_BITS_PER_STEP = 2
+
+
+@dataclass(frozen=True)
+class DramChannelConfig:
+    """One DDR4 channel (DDR4-2400R x8, as in Table IV)."""
+
+    peak_bytes_per_sec: float = 19.2e9  # DDR4-2400: 2400 MT/s x 8 B
+    efficiency: float = 0.7  # sustainable fraction of peak
+    idle_watts: float = 0.085
+    energy_per_byte: float = 60e-12
+
+    @property
+    def sustained_bytes_per_sec(self) -> float:
+        return self.peak_bytes_per_sec * self.efficiency
+
+
+@dataclass(frozen=True)
+class DramSystem:
+    """A set of identical DRAM channels."""
+
+    channel: DramChannelConfig = DramChannelConfig()
+    channels: int = 4
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """Aggregate sustainable bytes per second."""
+        return self.channel.sustained_bytes_per_sec * self.channels
+
+    def power(self, bytes_per_sec: float) -> float:
+        """DRAM power at the given sustained traffic (DRAMPower-lite)."""
+        return (
+            self.channel.idle_watts * self.channels
+            + bytes_per_sec * self.channel.energy_per_byte
+        )
+
+
+def bsw_tile_bytes(tile_size: int) -> int:
+    """DRAM bytes to feed one BSW filter tile (two sequences in)."""
+    return 2 * tile_size * STREAM_BITS_PER_BASE // 8
+
+
+def gactx_tile_bytes(tile_size: int) -> int:
+    """DRAM bytes for one GACT-X tile: two sequences in, pointers out."""
+    sequences = 2 * tile_size * STREAM_BITS_PER_BASE // 8
+    traceback = 2 * tile_size * TRACEBACK_BITS_PER_STEP // 8
+    return sequences + traceback
+
+
+def bandwidth_bound_tiles_per_sec(
+    dram: DramSystem, bytes_per_tile: int, share: float = 1.0
+) -> float:
+    """Tile throughput ceiling imposed by DRAM bandwidth.
+
+    ``share`` is the fraction of total bandwidth granted to this engine
+    (filter and extension arrays share the channels).
+    """
+    if not 0.0 < share <= 1.0:
+        raise ValueError("share must lie in (0, 1]")
+    if bytes_per_tile <= 0:
+        raise ValueError("bytes_per_tile must be positive")
+    return dram.sustained_bandwidth * share / bytes_per_tile

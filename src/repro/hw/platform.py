@@ -1,0 +1,105 @@
+"""Platform descriptions: CPU baseline, FPGA, and ASIC (paper section V).
+
+Each platform bundles what the cost model needs: array provisioning and
+clocks for the accelerators, and measured price/power/throughput constants
+for the software baselines.  Software constants are the paper's measured
+values on the c4.8xlarge instance (36 threads): 225 K Parasail BSW
+tiles/s for the iso-sensitive baseline, with seeding and ungapped-filter
+rates back-derived from the paper's Table V runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bsw_array import BswArrayModel
+from .gactx_array import GactXArrayModel
+from .memory import DramSystem
+from .power import CPU_POWER_W, FPGA_POWER_W, asic_power_w
+from .systolic import SystolicArrayConfig
+
+
+@dataclass(frozen=True)
+class CpuPlatform:
+    """The software baseline host (Amazon EC2 c4.8xlarge)."""
+
+    name: str = "c4.8xlarge"
+    price_per_hour: float = 1.59
+    power_w: float = CPU_POWER_W
+    threads: int = 36
+    #: Parasail banded-SW throughput, 320-base tiles, all cores busy.
+    bsw_tiles_per_sec: float = 225e3
+    #: Ungapped X-drop filter rate in scored diagonal cells per second —
+    #: same order as Parasail's SIMD cell rate (225K tiles/s x ~20.8K
+    #: in-band cells/tile ~= 4.7e9 cells/s); ungapped cells are cheaper
+    #: per cell, hence slightly faster.
+    ungapped_cells_per_sec: float = 6.0e9
+    #: Seed-table lookups per second (multi-threaded software seeding,
+    #: counting every word lookup including transition variants).
+    seeds_per_sec: float = 3.0e7
+    #: Software GACT-X extension tile rate (Y-drop gapped extension).
+    extension_tiles_per_sec: float = 80.0
+
+
+@dataclass(frozen=True)
+class FpgaPlatform:
+    """The AWS F1 deployment (Xilinx Virtex UltraScale+, f1.2xlarge)."""
+
+    name: str = "f1.2xlarge"
+    price_per_hour: float = 1.65
+    power_w: float = FPGA_POWER_W
+    bsw_arrays: int = 50
+    gactx_arrays: int = 2
+    array_config: SystolicArrayConfig = field(
+        default_factory=lambda: SystolicArrayConfig(
+            n_pe=32, clock_hz=150e6
+        )
+    )
+    dram: DramSystem = field(
+        default_factory=lambda: DramSystem(channels=1)
+    )
+
+    def bsw_model(self, tile_size: int = 320, band: int = 32) -> BswArrayModel:
+        return BswArrayModel(
+            config=self.array_config, tile_size=tile_size, band=band
+        )
+
+    def gactx_model(self) -> GactXArrayModel:
+        return GactXArrayModel(config=self.array_config)
+
+
+@dataclass(frozen=True)
+class AsicPlatform:
+    """The TSMC 40 nm ASIC provisioning (paper Table IV)."""
+
+    name: str = "darwin-wga-asic"
+    bsw_arrays: int = 64
+    gactx_arrays: int = 12
+    array_config: SystolicArrayConfig = field(
+        default_factory=lambda: SystolicArrayConfig(n_pe=64, clock_hz=1e9)
+    )
+    dram: DramSystem = field(default_factory=DramSystem)
+
+    @property
+    def power_w(self) -> float:
+        return asic_power_w()
+
+    def bsw_model(self, tile_size: int = 320, band: int = 32) -> BswArrayModel:
+        return BswArrayModel(
+            config=self.array_config, tile_size=tile_size, band=band
+        )
+
+    def gactx_model(self) -> GactXArrayModel:
+        return GactXArrayModel(config=self.array_config)
+
+
+def default_cpu() -> CpuPlatform:
+    return CpuPlatform()
+
+
+def default_fpga() -> FpgaPlatform:
+    return FpgaPlatform()
+
+
+def default_asic() -> AsicPlatform:
+    return AsicPlatform()

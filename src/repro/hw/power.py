@@ -1,0 +1,129 @@
+"""ASIC area/power component model (paper Table IV) and platform power.
+
+Per-PE logic area/power and per-byte SRAM constants are calibrated from
+the paper's TSMC-40nm place-and-route numbers, so that the default
+configuration (64 BSW arrays + 12 GACT-X arrays of 64 PEs, 16 KB of
+traceback SRAM per GACT-X PE, four DDR4 channels) reproduces Table IV:
+35.92 mm^2 and 43.34 W at 1 GHz.  Scaling the array counts (e.g. when
+re-provisioning for a different memory system) scales the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .memory import DramSystem
+
+# Calibration constants (40 nm, 1.0 GHz, worst-case PVT).
+BSW_PE_AREA_MM2 = 16.6 / (64 * 64)
+BSW_PE_POWER_W = 25.6 / (64 * 64)
+GACTX_PE_AREA_MM2 = 4.2 / (12 * 64)
+GACTX_PE_POWER_W = 6.72 / (12 * 64)
+SRAM_AREA_MM2_PER_KB = 15.12 / (12 * 64 * 16)
+SRAM_POWER_W_PER_KB = 7.92 / (12 * 64 * 16)
+REFERENCE_CLOCK_HZ = 1.0e9
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    """One row of the Table IV breakdown."""
+
+    name: str
+    configuration: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class AsicEstimate:
+    """Full-chip area/power estimate."""
+
+    components: List[ComponentEstimate]
+
+    @property
+    def area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def power_w(self) -> float:
+        return sum(c.power_w for c in self.components)
+
+    def table(self) -> str:
+        """Render the breakdown as a Table IV-style text table."""
+        lines = [
+            f"{'Component':<18} {'Configuration':<28} "
+            f"{'Area(mm2)':>10} {'Power(W)':>9}"
+        ]
+        for c in self.components:
+            lines.append(
+                f"{c.name:<18} {c.configuration:<28} "
+                f"{c.area_mm2:>10.2f} {c.power_w:>9.2f}"
+            )
+        lines.append(
+            f"{'Total':<18} {'':<28} "
+            f"{self.area_mm2:>10.2f} {self.power_w:>9.2f}"
+        )
+        return "\n".join(lines)
+
+
+def asic_estimate(
+    bsw_arrays: int = 64,
+    gactx_arrays: int = 12,
+    n_pe: int = 64,
+    sram_kb_per_pe: int = 16,
+    clock_hz: float = REFERENCE_CLOCK_HZ,
+    dram: DramSystem = None,
+    dram_bytes_per_sec: float = 46e9,
+) -> AsicEstimate:
+    """Estimate ASIC area and power for a given provisioning.
+
+    Dynamic logic/SRAM power scales linearly with clock relative to the
+    1 GHz calibration point; area is clock independent.  DRAM power uses
+    the :mod:`repro.hw.memory` model at the stated sustained traffic.
+    """
+    if dram is None:
+        dram = DramSystem()
+    clock_scale = clock_hz / REFERENCE_CLOCK_HZ
+    bsw_pes = bsw_arrays * n_pe
+    gactx_pes = gactx_arrays * n_pe
+    sram_kb = gactx_pes * sram_kb_per_pe
+    components = [
+        ComponentEstimate(
+            name="BSW Logic",
+            configuration=f"{bsw_arrays} x ({n_pe}PE array)",
+            area_mm2=bsw_pes * BSW_PE_AREA_MM2,
+            power_w=bsw_pes * BSW_PE_POWER_W * clock_scale,
+        ),
+        ComponentEstimate(
+            name="GACT-X Logic",
+            configuration=f"{gactx_arrays} x ({n_pe}PE array)",
+            area_mm2=gactx_pes * GACTX_PE_AREA_MM2,
+            power_w=gactx_pes * GACTX_PE_POWER_W * clock_scale,
+        ),
+        ComponentEstimate(
+            name="Traceback SRAM",
+            configuration=(
+                f"{gactx_arrays} x ({n_pe}PE x {sram_kb_per_pe}KB/PE)"
+            ),
+            area_mm2=sram_kb * SRAM_AREA_MM2_PER_KB,
+            power_w=sram_kb * SRAM_POWER_W_PER_KB * clock_scale,
+        ),
+        ComponentEstimate(
+            name="DRAM",
+            configuration=f"DDR4-2400R x {dram.channels}",
+            area_mm2=0.0,
+            power_w=dram.power(dram_bytes_per_sec),
+        ),
+    ]
+    return AsicEstimate(components=components)
+
+
+#: Measured platform powers including DRAM (paper Table VI).
+CPU_POWER_W = 215.0
+FPGA_POWER_W = 65.0
+
+
+def asic_power_w() -> float:
+    """Total ASIC power with the default provisioning (Table IV/VI)."""
+    return asic_estimate().power_w

@@ -1,0 +1,110 @@
+"""Multi-array tile scheduler simulation.
+
+The FPGA carries 50 BSW and 2 GACT-X arrays; the ASIC 64 and 12.  Tiles
+are independent, so the host dispatches each to the first free array —
+a classic list-scheduling problem.  This simulator plays out a tile
+stream against ``n_arrays`` identical arrays and reports makespan,
+per-array utilisation, and queueing statistics, exposing when an
+accelerator is compute-bound versus dispatch-bound (and, combined with
+:mod:`repro.hw.memory`, bandwidth-bound).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence as TypingSequence
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling a tile stream onto identical arrays."""
+
+    makespan_cycles: int
+    busy_cycles: int
+    n_arrays: int
+    tiles: int
+    per_array_busy: TypingSequence[int]
+
+    @property
+    def utilisation(self) -> float:
+        """Mean fraction of the makespan each array spent computing."""
+        if self.makespan_cycles == 0 or self.n_arrays == 0:
+            return 0.0
+        return self.busy_cycles / (self.makespan_cycles * self.n_arrays)
+
+    @property
+    def mean_tile_cycles(self) -> float:
+        return self.busy_cycles / self.tiles if self.tiles else 0.0
+
+    def throughput_tiles_per_sec(self, clock_hz: float) -> float:
+        """Sustained tile throughput over the makespan."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.tiles * clock_hz / self.makespan_cycles
+
+
+def schedule_tiles(
+    tile_cycles: Iterable[int],
+    n_arrays: int,
+    dispatch_overhead: int = 0,
+) -> ScheduleResult:
+    """Greedy list-schedule of tiles onto ``n_arrays`` identical arrays.
+
+    Args:
+        tile_cycles: per-tile cycle costs, in dispatch order.
+        n_arrays: number of identical arrays.
+        dispatch_overhead: host cycles consumed per dispatch (serialised
+            across arrays — models the PCIe/queue bottleneck).
+
+    Returns:
+        Makespan and utilisation statistics.
+    """
+    if n_arrays <= 0:
+        raise ValueError("n_arrays must be positive")
+    heap: List[tuple] = [(0, i) for i in range(n_arrays)]
+    heapq.heapify(heap)
+    busy = [0] * n_arrays
+    dispatch_clock = 0
+    total = 0
+    count = 0
+    makespan = 0
+    for cycles in tile_cycles:
+        if cycles < 0:
+            raise ValueError("tile cycles must be non-negative")
+        dispatch_clock += dispatch_overhead
+        free_at, idx = heapq.heappop(heap)
+        start = max(free_at, dispatch_clock)
+        end = start + cycles
+        busy[idx] += cycles
+        total += cycles
+        count += 1
+        makespan = max(makespan, end)
+        heapq.heappush(heap, (end, idx))
+    return ScheduleResult(
+        makespan_cycles=makespan,
+        busy_cycles=total,
+        n_arrays=n_arrays,
+        tiles=count,
+        per_array_busy=tuple(busy),
+    )
+
+
+def saturation_sweep(
+    tile_cycles: TypingSequence[int],
+    array_counts: Iterable[int],
+    dispatch_overhead: int = 0,
+) -> List[tuple]:
+    """Throughput scaling as the array count grows.
+
+    Returns ``(n_arrays, makespan, utilisation)`` rows; throughput stops
+    scaling once dispatch overhead (or, externally, DRAM bandwidth)
+    dominates — the provisioning analysis of paper section VI-A.
+    """
+    rows = []
+    for n_arrays in array_counts:
+        result = schedule_tiles(
+            tile_cycles, n_arrays, dispatch_overhead=dispatch_overhead
+        )
+        rows.append((n_arrays, result.makespan_cycles, result.utilisation))
+    return rows

@@ -1,0 +1,145 @@
+"""Whole-accelerator simulation: arrays + scheduler + DRAM together.
+
+The cost model (:mod:`repro.hw.cost`) uses closed-form rates; this module
+*plays out* a recorded workload instead: filter tiles are list-scheduled
+onto the BSW arrays and extension tiles (with their real recorded row
+windows) onto the GACT-X arrays, both engines run concurrently (the
+paper's Figure 6 partitioning), DRAM traffic is accumulated from both,
+and the run is declared compute- or bandwidth-bound.  It is the
+simulation counterpart of the paper's provisioning discussion in section
+VI-A and a cross-check of the cost model's throughput numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.pipeline import Workload
+from .bsw_array import BswArrayModel
+from .gactx_array import GactXArrayModel
+from .memory import bsw_tile_bytes, gactx_tile_bytes
+from .platform import AsicPlatform, FpgaPlatform
+from .schedule import schedule_tiles
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """One engine's (filter or extension) simulated outcome."""
+
+    tiles: int
+    makespan_seconds: float
+    utilisation: float
+    bytes_moved: int
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        if self.makespan_seconds == 0:
+            return 0.0
+        return self.bytes_moved / self.makespan_seconds
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Simulated accelerator run of one workload."""
+
+    filter: EngineReport
+    extension: EngineReport
+    sustained_bandwidth: float
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Engines run concurrently; the slower one sets the runtime."""
+        return max(self.filter.makespan_seconds, self.extension.makespan_seconds)
+
+    @property
+    def total_bandwidth_demand(self) -> float:
+        if self.runtime_seconds == 0:
+            return 0.0
+        return (
+            self.filter.bytes_moved + self.extension.bytes_moved
+        ) / self.runtime_seconds
+
+    @property
+    def dram_bound(self) -> bool:
+        return self.total_bandwidth_demand >= self.sustained_bandwidth
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        if self.sustained_bandwidth == 0:
+            return float("inf")
+        return self.total_bandwidth_demand / self.sustained_bandwidth
+
+
+def simulate(
+    workload: Workload,
+    platform,
+    filter_tile_size: int = 320,
+    filter_band: int = 32,
+    extension_tile_size: int = 1920,
+    max_filter_tiles_simulated: int = 100_000,
+) -> SystemReport:
+    """Play a workload through a platform's arrays.
+
+    ``platform`` is an :class:`~repro.hw.platform.FpgaPlatform` or
+    :class:`~repro.hw.platform.AsicPlatform`.  Filter tiles are uniform,
+    so streams longer than ``max_filter_tiles_simulated`` are scheduled
+    at that length and the makespan scaled back up (exact for uniform
+    tiles up to rounding).
+    """
+    clock = platform.array_config.clock_hz
+
+    # --- filter engine
+    bsw = BswArrayModel(
+        config=platform.array_config,
+        tile_size=filter_tile_size,
+        band=filter_band,
+    )
+    tile_cycles = bsw.tile_cycles()
+    n_filter = int(workload.filter_tiles)
+    simulated = min(n_filter, max_filter_tiles_simulated)
+    scale = n_filter / simulated if simulated else 0.0
+    filter_schedule = schedule_tiles(
+        [tile_cycles] * simulated, platform.bsw_arrays
+    )
+    filter_report = EngineReport(
+        tiles=n_filter,
+        makespan_seconds=filter_schedule.makespan_cycles * scale / clock,
+        utilisation=filter_schedule.utilisation,
+        bytes_moved=n_filter * bsw_tile_bytes(filter_tile_size),
+    )
+
+    # --- extension engine (uses the recorded row windows when present)
+    gactx = GactXArrayModel(config=platform.array_config)
+    traces = workload.extension_tile_traces
+    if traces:
+        extension_cycles = [gactx.tile_cycles(t) for t in traces]
+    else:
+        dense = (
+            extension_tile_size
+            * (extension_tile_size + platform.array_config.n_pe)
+            // platform.array_config.n_pe
+        )
+        extension_cycles = [dense] * int(workload.extension_tiles)
+    extension_schedule = schedule_tiles(
+        extension_cycles, platform.gactx_arrays
+    )
+    n_extension = max(int(workload.extension_tiles), len(extension_cycles))
+    per_tile_bytes = gactx_tile_bytes(extension_tile_size)
+    ext_scale = (
+        n_extension / len(extension_cycles) if extension_cycles else 0.0
+    )
+    extension_report = EngineReport(
+        tiles=n_extension,
+        makespan_seconds=extension_schedule.makespan_cycles
+        * ext_scale
+        / clock,
+        utilisation=extension_schedule.utilisation,
+        bytes_moved=n_extension * per_tile_bytes,
+    )
+
+    return SystemReport(
+        filter=filter_report,
+        extension=extension_report,
+        sustained_bandwidth=platform.dram.sustained_bandwidth,
+    )

@@ -1,0 +1,133 @@
+"""DRAM access-trace generation (Ramulator-lite).
+
+The paper feeds an ASIC memory trace to Ramulator to size the memory
+system (section V-D).  This module synthesises the equivalent trace from
+a tile workload: each tile issues burst reads for its two sequences and
+(for GACT-X) burst writes for the traceback pointers, interleaved across
+arrays.  The trace summary gives sustained bandwidth and per-channel
+pressure, which the provisioning check compares against the DRAM model's
+sustainable bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence as TypingSequence, Tuple
+
+from .memory import (
+    DramSystem,
+    STREAM_BITS_PER_BASE,
+    TRACEBACK_BITS_PER_STEP,
+)
+
+#: DDR4 burst: 64 bytes per access.
+BURST_BYTES = 64
+
+
+@dataclass(frozen=True)
+class TraceAccess:
+    """One DRAM burst access."""
+
+    cycle: int
+    address: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a generated trace."""
+
+    reads: int
+    writes: int
+    span_cycles: int
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_total(self) -> int:
+        return self.accesses * BURST_BYTES
+
+    def bandwidth_bytes_per_sec(self, clock_hz: float) -> float:
+        if self.span_cycles == 0:
+            return 0.0
+        return self.bytes_total * clock_hz / self.span_cycles
+
+
+def _bursts(byte_count: int) -> int:
+    return (byte_count + BURST_BYTES - 1) // BURST_BYTES
+
+
+def tile_accesses(
+    tile_size: int, with_traceback: bool
+) -> Tuple[int, int]:
+    """(read bursts, write bursts) for one tile's DRAM traffic."""
+    sequence_bytes = 2 * tile_size * STREAM_BITS_PER_BASE // 8
+    reads = _bursts(sequence_bytes)
+    writes = 0
+    if with_traceback:
+        traceback_bytes = 2 * tile_size * TRACEBACK_BITS_PER_STEP // 8
+        writes = _bursts(traceback_bytes)
+    return reads, writes
+
+
+def generate_trace(
+    tile_starts: TypingSequence[int],
+    tile_size: int,
+    with_traceback: bool = False,
+    base_address: int = 0,
+) -> Iterator[TraceAccess]:
+    """Yield burst accesses for a stream of tiles.
+
+    ``tile_starts`` are the dispatch cycles of each tile (e.g. from
+    :mod:`repro.hw.schedule`); accesses are spread uniformly over the
+    tile's lead-in.
+    """
+    reads, writes = tile_accesses(tile_size, with_traceback)
+    address = base_address
+    for start in tile_starts:
+        for i in range(reads):
+            yield TraceAccess(
+                cycle=start + i, address=address, is_write=False
+            )
+            address += BURST_BYTES
+        for i in range(writes):
+            yield TraceAccess(
+                cycle=start + reads + i, address=address, is_write=True
+            )
+            address += BURST_BYTES
+
+
+def summarise(accesses: Iterator[TraceAccess]) -> TraceSummary:
+    """Reduce a trace to counts and span."""
+    reads = writes = 0
+    first = None
+    last = 0
+    for access in accesses:
+        if access.is_write:
+            writes += 1
+        else:
+            reads += 1
+        if first is None or access.cycle < first:
+            first = access.cycle
+        last = max(last, access.cycle)
+    span = (last - (first or 0) + 1) if (reads + writes) else 0
+    return TraceSummary(reads=reads, writes=writes, span_cycles=span)
+
+
+def provisioning_check(
+    summary: TraceSummary,
+    dram: DramSystem,
+    clock_hz: float,
+) -> Tuple[float, bool]:
+    """Demand vs sustainable bandwidth.
+
+    Returns ``(demand_fraction, is_bandwidth_bound)`` — the paper
+    provisions array counts so the demand fraction approaches 1 (DRAM is
+    the bottleneck, section VI-A).
+    """
+    demand = summary.bandwidth_bytes_per_sec(clock_hz)
+    sustainable = dram.sustained_bandwidth
+    fraction = demand / sustainable if sustainable else float("inf")
+    return fraction, fraction >= 1.0

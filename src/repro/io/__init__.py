@@ -1,0 +1,21 @@
+"""Output formats: MAF/AXT alignments, UCSC chains, BED intervals."""
+
+from .axt import axt_string, read_axt, write_axt
+from .bed import bed_string, read_bed, write_bed
+from .chain_format import chain_triples, chains_string, write_chains
+from .maf import maf_string, read_maf, write_maf
+
+__all__ = [
+    "axt_string",
+    "read_axt",
+    "write_axt",
+    "bed_string",
+    "read_bed",
+    "write_bed",
+    "chain_triples",
+    "chains_string",
+    "write_chains",
+    "maf_string",
+    "read_maf",
+    "write_maf",
+]

@@ -1,0 +1,121 @@
+"""UCSC chain format writer.
+
+Chains are the paper's unit of evaluation and visualisation (uploaded to
+the UCSC genome browser).  The format is a header line::
+
+    chain score tName tSize tStrand tStart tEnd qName qSize qStrand qStart qEnd id
+
+followed by one ``size dt dq`` triple per ungapped block, where ``dt`` /
+``dq`` are the gaps to the next block (absent on the last line).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from ..chain.chainer import Chain
+
+_PathOrFile = Union[str, Path, TextIO]
+
+
+def _opened(destination: _PathOrFile, mode: str):
+    if isinstance(destination, (str, Path)):
+        return open(destination, mode), True
+    return destination, False
+
+
+def chain_triples(chain: Chain) -> List[Tuple[int, int, int]]:
+    """Flatten a chain into UCSC ``(size, dt, dq)`` triples.
+
+    Walks every block's CIGAR plus the inter-block gaps; adjacent
+    ungapped runs merge, and the final triple carries ``dt = dq = 0``.
+    """
+    triples: List[Tuple[int, int, int]] = []
+    size = 0
+    pending_dt = 0
+    pending_dq = 0
+
+    def flush() -> None:
+        nonlocal size, pending_dt, pending_dq
+        if size:
+            triples.append((size, pending_dt, pending_dq))
+            size = 0
+        elif triples and (pending_dt or pending_dq):
+            last_size, last_dt, last_dq = triples[-1]
+            triples[-1] = (
+                last_size,
+                last_dt + pending_dt,
+                last_dq + pending_dq,
+            )
+        pending_dt = 0
+        pending_dq = 0
+
+    previous_block = None
+    for block in chain.blocks:
+        if previous_block is not None:
+            pending_dt += block.target_start - previous_block.target_end
+            pending_dq += block.query_start - previous_block.query_end
+        for op, length in block.cigar:
+            if op in ("=", "X"):
+                if pending_dt or pending_dq:
+                    flush()
+                size += length
+            elif op == "D":
+                flush()
+                pending_dt += length
+            else:
+                flush()
+                pending_dq += length
+        previous_block = block
+    flush()
+    if triples:
+        last_size, _, _ = triples[-1]
+        triples[-1] = (last_size, 0, 0)
+    return triples
+
+
+def write_chains(
+    chains: Iterable[Chain],
+    target_name: str,
+    target_size: int,
+    query_name: str,
+    query_size: int,
+    destination: _PathOrFile,
+) -> None:
+    """Write chains in UCSC chain format."""
+    handle, needs_close = _opened(destination, "w")
+    try:
+        for chain_id, chain in enumerate(chains, start=1):
+            strand = "+" if chain.strand == 1 else "-"
+            handle.write(
+                f"chain {int(chain.score)} "
+                f"{target_name} {target_size} + "
+                f"{chain.target_start} {chain.target_end} "
+                f"{query_name} {query_size} {strand} "
+                f"{chain.query_start} {chain.query_end} {chain_id}\n"
+            )
+            for size, dt, dq in chain_triples(chain):
+                if dt == 0 and dq == 0:
+                    handle.write(f"{size}\n")
+                else:
+                    handle.write(f"{size} {dt} {dq}\n")
+            handle.write("\n")
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def chains_string(
+    chains: Iterable[Chain],
+    target_name: str,
+    target_size: int,
+    query_name: str,
+    query_size: int,
+) -> str:
+    buffer = io.StringIO()
+    write_chains(
+        chains, target_name, target_size, query_name, query_size, buffer
+    )
+    return buffer.getvalue()

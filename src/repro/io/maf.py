@@ -1,0 +1,156 @@
+"""MAF (Multiple Alignment Format) writer/reader.
+
+Both LASTZ and Darwin-WGA emit MAF (paper section V-E); AXTCHAIN consumes
+it.  Each alignment becomes an ``a``-block with two ``s`` lines; reading a
+MAF reconstructs :class:`~repro.align.alignment.Alignment` objects (the
+CIGAR is rebuilt from the gapped texts).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from ..align.alignment import Alignment
+from ..align.cigar import Cigar
+from ..genome.sequence import Sequence
+
+_PathOrFile = Union[str, Path, TextIO]
+
+
+def _opened(source: _PathOrFile, mode: str):
+    if isinstance(source, (str, Path)):
+        return open(source, mode), True
+    return source, False
+
+
+def _gapped_texts(
+    alignment: Alignment, target: Sequence, query: Sequence
+) -> (str, str):
+    q_seq = (
+        query.reverse_complement() if alignment.strand == -1 else query
+    )
+    t_text: List[str] = []
+    q_text: List[str] = []
+    ti = alignment.target_start
+    qi = alignment.query_start
+    for op, length in alignment.cigar:
+        if op in ("=", "X"):
+            t_text.append(str(target.slice(ti, ti + length)))
+            q_text.append(str(q_seq.slice(qi, qi + length)))
+            ti += length
+            qi += length
+        elif op == "D":
+            t_text.append(str(target.slice(ti, ti + length)))
+            q_text.append("-" * length)
+            ti += length
+        else:
+            t_text.append("-" * length)
+            q_text.append(str(q_seq.slice(qi, qi + length)))
+            qi += length
+    return "".join(t_text), "".join(q_text)
+
+
+def write_maf(
+    alignments: Iterable[Alignment],
+    target: Sequence,
+    query: Sequence,
+    destination: _PathOrFile,
+) -> None:
+    """Write alignments as MAF blocks."""
+    handle, needs_close = _opened(destination, "w")
+    try:
+        handle.write("##maf version=1 scoring=lastz-default\n")
+        for alignment in alignments:
+            t_text, q_text = _gapped_texts(alignment, target, query)
+            handle.write(f"a score={alignment.score}\n")
+            handle.write(
+                f"s {alignment.target_name or 'target'} "
+                f"{alignment.target_start} {alignment.target_span} + "
+                f"{len(target)} {t_text}\n"
+            )
+            strand = "+" if alignment.strand == 1 else "-"
+            handle.write(
+                f"s {alignment.query_name or 'query'} "
+                f"{alignment.query_start} {alignment.query_span} {strand} "
+                f"{len(query)} {q_text}\n"
+            )
+            handle.write("\n")
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def maf_string(
+    alignments: Iterable[Alignment], target: Sequence, query: Sequence
+) -> str:
+    buffer = io.StringIO()
+    write_maf(alignments, target, query, buffer)
+    return buffer.getvalue()
+
+
+def _cigar_from_texts(t_text: str, q_text: str) -> Cigar:
+    ops: List[str] = []
+    for t_char, q_char in zip(t_text, q_text):
+        if t_char == "-" and q_char == "-":
+            raise ValueError("MAF column with gaps in both rows")
+        if t_char == "-":
+            ops.append("I")
+        elif q_char == "-":
+            ops.append("D")
+        elif t_char.upper() == q_char.upper() and t_char.upper() != "N":
+            ops.append("=")
+        else:
+            ops.append("X")
+    return Cigar.from_ops(ops)
+
+
+def read_maf(source: _PathOrFile) -> List[Alignment]:
+    """Parse a two-species MAF back into alignments."""
+    handle, needs_close = _opened(source, "r")
+    try:
+        alignments: List[Alignment] = []
+        score = 0
+        rows: List[tuple] = []
+        for line in list(handle) + [""]:
+            line = line.strip()
+            if line.startswith("a"):
+                score_field = [
+                    part for part in line.split() if part.startswith("score=")
+                ]
+                score = int(float(score_field[0][6:])) if score_field else 0
+                rows = []
+            elif line.startswith("s"):
+                parts = line.split()
+                rows.append(
+                    (
+                        parts[1],
+                        int(parts[2]),
+                        int(parts[3]),
+                        parts[4],
+                        int(parts[5]),
+                        parts[6],
+                    )
+                )
+            elif not line and len(rows) == 2:
+                (t_name, t_start, t_size, _, _, t_text) = rows[0]
+                (q_name, q_start, q_size, q_strand, _, q_text) = rows[1]
+                alignments.append(
+                    Alignment(
+                        target_name=t_name,
+                        query_name=q_name,
+                        target_start=t_start,
+                        target_end=t_start + t_size,
+                        query_start=q_start,
+                        query_end=q_start + q_size,
+                        score=score,
+                        cigar=_cigar_from_texts(t_text, q_text),
+                        strand=1 if q_strand == "+" else -1,
+                    )
+                )
+                rows = []
+        return alignments
+    finally:
+        if needs_close:
+            handle.close()

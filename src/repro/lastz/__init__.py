@@ -1,0 +1,19 @@
+"""LASTZ-like baseline: all-hits seeding + ungapped filter + extension."""
+
+from .pipeline import LastzAligner, LastzConfig, align_pair_lastz
+from .ungapped_filter import (
+    DEFAULT_XDROP,
+    UngappedFilterParams,
+    UngappedFilterResult,
+    ungapped_filter,
+)
+
+__all__ = [
+    "LastzAligner",
+    "LastzConfig",
+    "align_pair_lastz",
+    "DEFAULT_XDROP",
+    "UngappedFilterParams",
+    "UngappedFilterResult",
+    "ungapped_filter",
+]

@@ -1,0 +1,23 @@
+"""Phylogenetics: distance estimators and neighbour-joining trees."""
+
+from .distance import (
+    SiteCounts,
+    count_sites,
+    estimate_distance,
+    jc69_distance,
+    k80_distance,
+    k80_kappa,
+)
+from .tree import TreeNode, neighbour_joining, tree_distance
+
+__all__ = [
+    "SiteCounts",
+    "count_sites",
+    "estimate_distance",
+    "jc69_distance",
+    "k80_distance",
+    "k80_kappa",
+    "TreeNode",
+    "neighbour_joining",
+    "tree_distance",
+]

@@ -1,0 +1,141 @@
+"""Neighbour-joining trees from pairwise distances (paper Figure 8).
+
+The paper shows the phylogenetic trees of its two species groups with
+PHAST-computed branch lengths; this module reconstructs such trees from a
+pairwise distance matrix with Saitou & Nei's neighbour-joining algorithm
+and renders them in Newick format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """A node of an (unrooted, represented as rooted) phylogenetic tree."""
+
+    name: str = ""
+    children: List[Tuple["TreeNode", float]] = None
+
+    def __post_init__(self) -> None:
+        if self.children is None:
+            self.children = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> List[str]:
+        if self.is_leaf:
+            return [self.name]
+        names: List[str] = []
+        for child, _ in self.children:
+            names.extend(child.leaves())
+        return names
+
+    def newick(self) -> str:
+        """Render the subtree in Newick format (with branch lengths)."""
+        return self._newick_inner() + ";"
+
+    def _newick_inner(self) -> str:
+        if self.is_leaf:
+            return self.name
+        parts = [
+            f"{child._newick_inner()}:{length:.4f}"
+            for child, length in self.children
+        ]
+        label = self.name or ""
+        return f"({','.join(parts)}){label}"
+
+    def leaf_distances(self) -> Dict[str, float]:
+        """Path lengths from this node to every leaf below it."""
+        distances: Dict[str, float] = {}
+        if self.is_leaf:
+            distances[self.name] = 0.0
+            return distances
+        for child, length in self.children:
+            for leaf, below in child.leaf_distances().items():
+                distances[leaf] = below + length
+        return distances
+
+
+def tree_distance(root: TreeNode, a: str, b: str) -> float:
+    """Patristic (path) distance between two leaves of the tree."""
+    node = _lca(root, a, b)
+    if node is None:
+        raise KeyError(f"leaves {a!r}/{b!r} not found under one node")
+    distances = node.leaf_distances()
+    return distances[a] + distances[b]
+
+
+def _lca(node: TreeNode, a: str, b: str) -> Optional[TreeNode]:
+    leaves = set(node.leaves())
+    if a not in leaves or b not in leaves:
+        return None
+    for child, _ in node.children:
+        candidate = _lca(child, a, b)
+        if candidate is not None:
+            return candidate
+    return node
+
+
+def neighbour_joining(
+    names: TypingSequence[str], distances: np.ndarray
+) -> TreeNode:
+    """Build a neighbour-joining tree from a symmetric distance matrix.
+
+    Negative branch lengths (possible on noisy inputs) are clamped to 0,
+    the common practice.
+    """
+    n = len(names)
+    matrix = np.asarray(distances, dtype=float)
+    if matrix.shape != (n, n):
+        raise ValueError("distance matrix shape must match names")
+    if not np.allclose(matrix, matrix.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    nodes: List[TreeNode] = [TreeNode(name=name) for name in names]
+    active = list(range(n))
+    dist = {
+        (i, j): float(matrix[i, j]) for i in range(n) for j in range(n)
+    }
+    next_id = n
+
+    def d(i: int, j: int) -> float:
+        return dist[(i, j)] if (i, j) in dist else dist[(j, i)]
+
+    node_of: Dict[int, TreeNode] = {i: nodes[i] for i in range(n)}
+
+    while len(active) > 2:
+        m = len(active)
+        totals = {i: sum(d(i, k) for k in active if k != i) for i in active}
+        best: Optional[Tuple[float, int, int]] = None
+        for ai in range(m):
+            for bi in range(ai + 1, m):
+                i, j = active[ai], active[bi]
+                q = (m - 2) * d(i, j) - totals[i] - totals[j]
+                if best is None or q < best[0]:
+                    best = (q, i, j)
+        _, i, j = best
+        dij = d(i, j)
+        li = 0.5 * dij + (totals[i] - totals[j]) / (2 * (m - 2))
+        lj = dij - li
+        li, lj = max(0.0, li), max(0.0, lj)
+        parent = TreeNode(name=f"n{next_id}")
+        parent.children = [(node_of[i], li), (node_of[j], lj)]
+        for k in active:
+            if k in (i, j):
+                continue
+            dist[(next_id, k)] = 0.5 * (d(i, k) + d(j, k) - dij)
+        node_of[next_id] = parent
+        active = [k for k in active if k not in (i, j)] + [next_id]
+        next_id += 1
+
+    i, j = active
+    root = TreeNode(name="root")
+    final = max(0.0, d(i, j))
+    root.children = [(node_of[i], final / 2), (node_of[j], final / 2)]
+    return root

@@ -1,0 +1,32 @@
+"""Seeding: spaced seed patterns, target index, and D-SOFT banding."""
+
+from .analysis import (
+    compare_patterns,
+    expected_random_hits,
+    hit_probability,
+    monte_carlo_sensitivity,
+)
+from .dsoft import (
+    DsoftParams,
+    SeedingResult,
+    all_seed_hits,
+    dsoft_seed,
+    query_seed_words,
+)
+from .index import SeedIndex
+from .patterns import DEFAULT_PATTERN, SpacedSeed
+
+__all__ = [
+    "compare_patterns",
+    "expected_random_hits",
+    "hit_probability",
+    "monte_carlo_sensitivity",
+    "DsoftParams",
+    "SeedingResult",
+    "all_seed_hits",
+    "dsoft_seed",
+    "query_seed_words",
+    "SeedIndex",
+    "DEFAULT_PATTERN",
+    "SpacedSeed",
+]

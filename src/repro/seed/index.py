@@ -1,0 +1,85 @@
+"""Positional seed-word index over the target genome.
+
+The seeding stage looks up every query seed word in the target.  The index
+stores the target's seed words in sorted order with their positions, so a
+batch of query words resolves to position lists with two vectorised
+``searchsorted`` calls — the software analogue of the seed-position table
+Darwin-WGA's host software keeps in DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from .patterns import SpacedSeed
+
+
+@dataclass(frozen=True)
+class SeedIndex:
+    """Sorted seed-word table of one target sequence."""
+
+    seed: SpacedSeed
+    sorted_words: np.ndarray
+    sorted_positions: np.ndarray
+    target_length: int
+
+    @classmethod
+    def build(cls, target: Sequence, seed: SpacedSeed) -> "SeedIndex":
+        """Index every valid seed position of ``target``."""
+        words, valid = seed.words(target)
+        positions = np.flatnonzero(valid)
+        words = words[positions]
+        order = np.argsort(words, kind="stable")
+        return cls(
+            seed=seed,
+            sorted_words=words[order],
+            sorted_positions=positions[order].astype(np.int64),
+            target_length=len(target),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of indexed seed positions."""
+        return int(self.sorted_words.size)
+
+    def lookup_batch(
+        self, query_words: np.ndarray, query_positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve a batch of query seed words to seed hits.
+
+        Args:
+            query_words: words to look up.
+            query_positions: the query position of each word (same length).
+
+        Returns:
+            ``(target_hits, query_hits)`` — parallel arrays with one entry
+            per seed hit, in query order then target order.
+        """
+        if query_words.size != query_positions.size:
+            raise ValueError("words and positions must be parallel arrays")
+        left = np.searchsorted(self.sorted_words, query_words, side="left")
+        right = np.searchsorted(self.sorted_words, query_words, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        # CSR-style expansion: for query word w with range [l, r) emit the
+        # target positions sorted_positions[l:r].
+        starts = np.repeat(left, counts)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        target_hits = self.sorted_positions[starts + offsets]
+        query_hits = np.repeat(query_positions, counts)
+        return target_hits, query_hits
+
+    def word_frequency(self, word: int) -> int:
+        """Number of target positions carrying ``word``."""
+        left = np.searchsorted(self.sorted_words, word, side="left")
+        right = np.searchsorted(self.sorted_words, word, side="right")
+        return int(right - left)

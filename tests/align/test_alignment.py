@@ -1,0 +1,113 @@
+"""Unit tests for alignment result objects."""
+
+import pytest
+
+from repro.align import Alignment, AnchorHit, Cigar
+from repro.genome import Sequence
+
+
+def make_alignment(cigar_text, t_start=0, q_start=0, strand=1, score=10):
+    cigar = Cigar.parse(cigar_text)
+    return Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + cigar.target_span,
+        query_start=q_start,
+        query_end=q_start + cigar.query_span,
+        score=score,
+        cigar=cigar,
+        strand=strand,
+    )
+
+
+class TestAlignment:
+    def test_spans(self):
+        alignment = make_alignment("5=2D3=1I")
+        assert alignment.target_span == 10
+        assert alignment.query_span == 9
+
+    def test_span_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(
+                target_name="t",
+                query_name="q",
+                target_start=0,
+                target_end=5,
+                query_start=0,
+                query_end=4,
+                score=1,
+                cigar=Cigar.parse("4="),
+            )
+
+    def test_bad_strand_rejected(self):
+        with pytest.raises(ValueError):
+            make_alignment("3=", strand=0)
+
+    def test_matches_and_identity(self):
+        alignment = make_alignment("8=2X")
+        assert alignment.matches == 8
+        assert alignment.identity() == pytest.approx(0.8)
+
+    def test_with_score(self):
+        alignment = make_alignment("3=").with_score(99)
+        assert alignment.score == 99
+
+
+class TestVerify:
+    def test_verify_accepts_correct_cigar(self):
+        target = Sequence.from_string("ACGTACGT", name="t")
+        query = Sequence.from_string("ACGTTACGT", name="q")
+        # query has an extra T inserted after position 4
+        alignment = make_alignment("4=1I4=")
+        alignment.verify(target, query)
+
+    def test_verify_rejects_wrong_match(self):
+        target = Sequence.from_string("AAAA", name="t")
+        query = Sequence.from_string("AATA", name="q")
+        with pytest.raises(ValueError):
+            make_alignment("4=").verify(target, query)
+
+    def test_verify_rejects_wrong_mismatch(self):
+        target = Sequence.from_string("AAAA", name="t")
+        query = Sequence.from_string("AAAA", name="q")
+        with pytest.raises(ValueError):
+            make_alignment("4X").verify(target, query)
+
+    def test_n_pairs_are_not_matches(self):
+        target = Sequence.from_string("NN", name="t")
+        query = Sequence.from_string("NN", name="q")
+        with pytest.raises(ValueError):
+            make_alignment("2=").verify(target, query)
+        make_alignment("2X").verify(target, query)
+
+    def test_minus_strand_verify(self):
+        target = Sequence.from_string("ACGT", name="t")
+        query = Sequence.from_string("ACGT", name="q")
+        # reverse complement of query is ACGT as well
+        make_alignment("4=", strand=-1).verify(target, query)
+
+    def test_verify_detects_truncated_walk(self):
+        target = Sequence.from_string("ACGTA", name="t")
+        query = Sequence.from_string("ACGT", name="q")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=4,
+            query_start=0,
+            query_end=4,
+            score=0,
+            cigar=Cigar.parse("4="),
+        )
+        alignment.verify(target, query)  # exact walk fine
+
+
+class TestAnchorHit:
+    def test_diagonal(self):
+        anchor = AnchorHit(target_pos=100, query_pos=40, filter_score=5000)
+        assert anchor.diagonal == 60
+
+    def test_defaults(self):
+        anchor = AnchorHit(target_pos=1, query_pos=2, filter_score=3)
+        assert anchor.strand == 1

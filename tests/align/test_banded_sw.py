@@ -1,0 +1,130 @@
+"""Banded Smith-Waterman kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import band_cells, best_score, bsw_batch, bsw_tile, unit
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+
+from .. import reference
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+@pytest.fixture
+def scoring():
+    return unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+
+
+class TestSingleTile:
+    def test_wide_band_equals_full_sw(self, scoring, rng):
+        for _ in range(5):
+            t = Sequence(rng.integers(0, 4, 50).astype(np.uint8))
+            q = Sequence(rng.integers(0, 4, 50).astype(np.uint8))
+            banded = bsw_tile(t, q, scoring, band=60)
+            assert banded.score == best_score(t, q, scoring)
+
+    def test_band_zero_is_diagonal_only(self, scoring):
+        t = Sequence.from_string("ACGTACGT")
+        result = bsw_tile(t, t, scoring, band=0)
+        assert result.score == 40
+
+    def test_narrow_band_misses_off_diagonal(self, scoring):
+        # match requires shifting by 5; band 2 cannot reach it
+        t = Sequence.from_string("TTTTTACGTACGT")
+        q = Sequence.from_string("ACGTACGTGGGGG")
+        wide = bsw_tile(t, q, scoring, band=12)
+        narrow = bsw_tile(t, q, scoring, band=2)
+        assert wide.score > narrow.score
+
+    def test_max_position_reported(self, scoring):
+        t = Sequence.from_string("ACGT")
+        result = bsw_tile(t, t, scoring, band=4)
+        assert (result.max_i, result.max_j) == (4, 4)
+
+    def test_empty_inputs(self, scoring):
+        empty = Sequence.from_string("")
+        other = Sequence.from_string("ACG")
+        assert bsw_tile(empty, other, scoring, band=2).score == 0
+
+    def test_negative_band_rejected(self, scoring):
+        t = Sequence.from_string("ACG")
+        with pytest.raises(ValueError):
+            bsw_batch(
+                t.codes[None, :], t.codes[None, :], scoring, band=-1
+            )
+
+
+class TestAgainstReference:
+    @settings(max_examples=50, deadline=None)
+    @given(dna, dna, st.integers(0, 12))
+    def test_matches_naive_banded(self, t_text, q_text, band):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        expected = reference.banded_local_score(t, q, scoring, band)
+        assert bsw_tile(t, q, scoring, band).score == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna, dna, st.integers(0, 8))
+    def test_matches_naive_banded_lastz(self, t_text, q_text, band):
+        scoring = lastz_default()
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        expected = reference.banded_local_score(t, q, scoring, band)
+        assert bsw_tile(t, q, scoring, band).score == expected
+
+    def test_score_monotone_in_band(self, scoring, rng):
+        t = Sequence(rng.integers(0, 4, 60).astype(np.uint8))
+        q = Sequence(rng.integers(0, 4, 60).astype(np.uint8))
+        scores = [
+            bsw_tile(t, q, scoring, band).score for band in (0, 2, 8, 32)
+        ]
+        assert scores == sorted(scores)
+
+
+class TestBatch:
+    def test_batch_equals_single(self, scoring, rng):
+        k, m = 16, 48
+        targets = rng.integers(0, 5, (k, m)).astype(np.uint8)
+        queries = rng.integers(0, 5, (k, m)).astype(np.uint8)
+        scores, max_i, max_j = bsw_batch(targets, queries, scoring, band=6)
+        for idx in range(k):
+            single = bsw_tile(
+                Sequence(targets[idx]), Sequence(queries[idx]), scoring, 6
+            )
+            assert scores[idx] == single.score
+            if single.score > 0:
+                assert (max_i[idx], max_j[idx]) == (
+                    single.max_i,
+                    single.max_j,
+                )
+
+    def test_shape_validation(self, scoring):
+        with pytest.raises(ValueError):
+            bsw_batch(
+                np.zeros((2, 4), dtype=np.uint8),
+                np.zeros((3, 4), dtype=np.uint8),
+                scoring,
+                band=2,
+            )
+        with pytest.raises(ValueError):
+            bsw_batch(
+                np.zeros(4, dtype=np.uint8),
+                np.zeros(4, dtype=np.uint8),
+                scoring,
+                band=2,
+            )
+
+
+class TestBandCells:
+    def test_full_band_counts_all_cells(self):
+        assert band_cells(4, 4, 10) == 16
+
+    def test_band_zero_counts_diagonal(self):
+        assert band_cells(5, 5, 0) == 5
+
+    def test_known_small_case(self):
+        # 3x3, band 1: row1 -> cols1-2, row2 -> cols1-3, row3 -> cols2-3
+        assert band_cells(3, 3, 1) == 7

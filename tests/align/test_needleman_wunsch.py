@@ -1,0 +1,85 @@
+"""Needleman-Wunsch kernel vs the naive reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import align_global, global_score, unit
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+
+from .. import reference
+
+dna = st.text(alphabet="ACGT", max_size=30)
+
+
+@pytest.fixture
+def scoring():
+    return unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+
+
+class TestKnownCases:
+    def test_identical(self, scoring):
+        s = Sequence.from_string("ACGTACGT")
+        alignment = align_global(s, s, scoring)
+        assert alignment.score == 40
+        assert str(alignment.cigar) == "8="
+
+    def test_single_insertion(self, scoring):
+        t = Sequence.from_string("ACGT")
+        q = Sequence.from_string("ACGGT")
+        alignment = align_global(t, q, scoring)
+        assert alignment.cigar.count("I") == 1
+        assert alignment.score == 4 * 5 - 8
+
+    def test_empty_vs_nonempty(self, scoring):
+        t = Sequence.from_string("")
+        q = Sequence.from_string("ACG")
+        alignment = align_global(t, q, scoring)
+        assert str(alignment.cigar) == "3I"
+        assert alignment.score == -(8 + 2 * 2)
+
+    def test_both_empty(self, scoring):
+        alignment = align_global(
+            Sequence.from_string(""), Sequence.from_string(""), scoring
+        )
+        assert alignment.score == 0
+        assert len(alignment.cigar) == 0
+
+    def test_global_covers_both_sequences(self, scoring):
+        t = Sequence.from_string("AATTTT")
+        q = Sequence.from_string("GGGAA")
+        alignment = align_global(t, q, scoring)
+        assert alignment.target_end == len(t)
+        assert alignment.query_end == len(q)
+        assert alignment.target_start == 0
+        assert alignment.query_start == 0
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(dna, dna)
+    def test_score_matches_naive(self, t_text, q_text):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        assert global_score(t, q, scoring) == reference.global_score(
+            t, q, scoring
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_traceback_consistent(self, t_text, q_text):
+        scoring = lastz_default()
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        alignment = align_global(t, q, scoring)
+        alignment.verify(t, q)
+        recomputed = reference.cigar_score(alignment.cigar, t, q, scoring)
+        assert recomputed == alignment.score
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_self_alignment_is_all_matches(self, text):
+        scoring = unit()
+        s = Sequence.from_string(text)
+        alignment = align_global(s, s, scoring)
+        assert alignment.cigar.matches == len(text)

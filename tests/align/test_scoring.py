@@ -1,0 +1,89 @@
+"""Unit tests for scoring schemes and stock matrices."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    HOXD70_MATRIX,
+    LASTZ_DEFAULT_MATRIX,
+    ScoringScheme,
+    hoxd70,
+    lastz_default,
+    unit,
+)
+from repro.genome import alphabet
+
+
+class TestScoringScheme:
+    def test_4x4_matrix_expanded_with_n(self):
+        scheme = ScoringScheme(
+            matrix=LASTZ_DEFAULT_MATRIX, gap_open=430, gap_extend=30
+        )
+        assert scheme.matrix.shape == (5, 5)
+        assert scheme.score(alphabet.N, alphabet.A) == -100
+        assert scheme.score(alphabet.N, alphabet.N) == -100
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(
+                matrix=np.zeros((3, 3)), gap_open=10, gap_extend=1
+            )
+
+    def test_rejects_negative_penalties(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(
+                matrix=LASTZ_DEFAULT_MATRIX, gap_open=-1, gap_extend=1
+            )
+
+    def test_rejects_open_below_extend(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(
+                matrix=LASTZ_DEFAULT_MATRIX, gap_open=5, gap_extend=10
+            )
+
+    def test_gap_cost_affine(self):
+        scheme = lastz_default()
+        assert scheme.gap_cost(0) == 0
+        assert scheme.gap_cost(1) == 430
+        assert scheme.gap_cost(2) == 460
+        assert scheme.gap_cost(10) == 430 + 9 * 30
+
+    def test_row_scores(self):
+        scheme = lastz_default()
+        codes = np.array([0, 1, 2, 3, 4], dtype=np.uint8)
+        row = scheme.row_scores(alphabet.A, codes)
+        assert list(row) == [91, -90, -25, -100, -100]
+
+    def test_max_match_score(self):
+        assert lastz_default().max_match_score() == 100
+        assert unit().max_match_score() == 1
+
+
+class TestStockMatrices:
+    def test_lastz_default_values(self):
+        # Table IIa of the paper.
+        scheme = lastz_default()
+        assert scheme.score(alphabet.A, alphabet.A) == 91
+        assert scheme.score(alphabet.C, alphabet.C) == 100
+        assert scheme.score(alphabet.A, alphabet.G) == -25  # transition
+        assert scheme.score(alphabet.A, alphabet.T) == -100  # transversion
+        assert scheme.gap_open == 430
+        assert scheme.gap_extend == 30
+
+    def test_matrices_are_symmetric(self):
+        assert np.array_equal(LASTZ_DEFAULT_MATRIX, LASTZ_DEFAULT_MATRIX.T)
+        assert np.array_equal(HOXD70_MATRIX, HOXD70_MATRIX.T)
+
+    def test_transitions_penalised_less_than_transversions(self):
+        for matrix in (LASTZ_DEFAULT_MATRIX, HOXD70_MATRIX):
+            assert matrix[0, 2] > matrix[0, 1]  # A-G beats A-C
+            assert matrix[1, 3] > matrix[1, 0]  # C-T beats C-A
+
+    def test_hoxd70_constructor(self):
+        scheme = hoxd70(gap_open=400, gap_extend=30)
+        assert scheme.gap_open == 400
+        assert scheme.score(alphabet.A, alphabet.A) == 91
+
+    def test_unit_validation(self):
+        with pytest.raises(ValueError):
+            unit(match=0)

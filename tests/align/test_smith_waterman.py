@@ -1,0 +1,110 @@
+"""Smith-Waterman kernel vs the naive reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import align_local, best_score, score_matrix, unit
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+
+from .. import reference
+
+dna = st.text(alphabet="ACGTN", min_size=1, max_size=30)
+
+
+@pytest.fixture
+def scoring():
+    return unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+
+
+class TestKnownCases:
+    def test_perfect_match(self, scoring):
+        t = Sequence.from_string("ACGTACGT")
+        alignment = align_local(t, t, scoring)
+        assert alignment.score == 8 * 5
+        assert str(alignment.cigar) == "8="
+
+    def test_embedded_match(self, scoring):
+        t = Sequence.from_string("TTTTACGTACGTTTTT")
+        q = Sequence.from_string("GGACGTACGTGG")
+        alignment = align_local(t, q, scoring)
+        assert alignment.score == 8 * 5
+        assert alignment.target_start == 4
+        assert alignment.query_start == 2
+
+    def test_gap_preferred_over_mismatches(self):
+        scoring = unit(match=5, mismatch=-10, gap_open=3, gap_extend=1)
+        t = Sequence.from_string("AAAATTTT")
+        q = Sequence.from_string("AAAGATTTT")  # extra GA hmm: one insertion
+        alignment = align_local(t, q, scoring)
+        assert alignment.cigar.count("I") >= 1 or alignment.cigar.count("D") >= 1
+
+    def test_no_alignment_returns_none(self, scoring):
+        t = Sequence.from_string("AAAA")
+        q = Sequence.from_string("TTTT")
+        assert align_local(t, q, scoring) is None
+
+    def test_empty_inputs(self, scoring):
+        empty = Sequence.from_string("")
+        other = Sequence.from_string("ACGT")
+        assert align_local(empty, other, scoring) is None
+        assert best_score(other, empty, scoring) == 0
+
+    def test_score_matrix_shape_and_corner(self, scoring):
+        t = Sequence.from_string("ACG")
+        q = Sequence.from_string("AC")
+        matrix = score_matrix(t, q, scoring)
+        assert matrix.shape == (3, 4)
+        assert matrix[0, 0] == 0
+        assert matrix[2, 2] == 10
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(dna, dna)
+    def test_best_score_matches_naive_unit(self, t_text, q_text):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        assert best_score(t, q, scoring) == reference.local_score(
+            t, q, scoring
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_best_score_matches_naive_lastz(self, t_text, q_text):
+        scoring = lastz_default()
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        assert best_score(t, q, scoring) == reference.local_score(
+            t, q, scoring
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_traceback_score_consistent(self, t_text, q_text):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        alignment = align_local(t, q, scoring)
+        if alignment is None:
+            assert reference.local_score(t, q, scoring) == 0
+            return
+        alignment.verify(t, q)
+        recomputed = reference.cigar_score(
+            alignment.cigar,
+            t,
+            q,
+            scoring,
+            alignment.target_start,
+            alignment.query_start,
+        )
+        assert recomputed == alignment.score
+
+    def test_random_longer_sequences(self, rng):
+        scoring = lastz_default()
+        for _ in range(5):
+            t = Sequence(rng.integers(0, 5, 80).astype(np.uint8))
+            q = Sequence(rng.integers(0, 5, 70).astype(np.uint8))
+            assert best_score(t, q, scoring) == reference.local_score(
+                t, q, scoring
+            )

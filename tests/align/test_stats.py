@@ -1,0 +1,123 @@
+"""Karlin-Altschul statistics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    Alignment,
+    Cigar,
+    ScoreStatistics,
+    bit_score,
+    estimate_k,
+    evalue,
+    expected_score,
+    gap_length_distribution,
+    karlin_lambda,
+    score_for_evalue,
+    unit,
+)
+from repro.align.matrices import lastz_default
+
+
+class TestLambda:
+    def test_unit_matrix_known_value(self):
+        # match +1 / mismatch -1 uniform background:
+        # 1/4 e^l + 3/4 e^-l = 1  =>  e^l = 3  =>  lambda = ln 3
+        scoring = unit(match=1, mismatch=-1)
+        assert karlin_lambda(scoring) == pytest.approx(
+            math.log(3), abs=1e-6
+        )
+
+    def test_lastz_default_lambda_positive(self):
+        lam = karlin_lambda(lastz_default())
+        assert 0.005 < lam < 0.05
+
+    def test_root_property(self):
+        scoring = lastz_default()
+        lam = karlin_lambda(scoring)
+        matrix = scoring.matrix[:4, :4].astype(float)
+        total = (np.exp(lam * matrix) / 16.0).sum()
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_positive_expected_score_rejected(self):
+        scoring = unit(match=5, mismatch=-1)
+        assert expected_score(scoring) > 0
+        with pytest.raises(ValueError):
+            karlin_lambda(scoring)
+
+    def test_background_validation(self):
+        with pytest.raises(ValueError):
+            karlin_lambda(unit(), background=np.array([1, 1, 1, 1.0]))
+
+    def test_expected_score_negative_for_stock(self):
+        assert expected_score(lastz_default()) < 0
+        assert expected_score(unit()) < 0
+
+
+class TestEvalues:
+    def test_evalue_decreases_with_score(self):
+        lam, k = 0.05, 0.1
+        assert evalue(1000, 10**6, 10**6, lam, k) > evalue(
+            2000, 10**6, 10**6, lam, k
+        )
+
+    def test_evalue_scales_with_search_space(self):
+        lam, k = 0.05, 0.1
+        small = evalue(3000, 10**5, 10**5, lam, k)
+        big = evalue(3000, 10**7, 10**7, lam, k)
+        assert big == pytest.approx(small * 10**4)
+
+    def test_score_for_evalue_inverts(self):
+        lam, k = 0.05, 0.1
+        score = score_for_evalue(1e-6, 10**6, 10**6, lam, k)
+        assert evalue(score, 10**6, 10**6, lam, k) == pytest.approx(1e-6)
+
+    def test_score_for_evalue_validation(self):
+        with pytest.raises(ValueError):
+            score_for_evalue(0, 10, 10, 0.1, 0.1)
+
+    def test_bit_score_monotone(self):
+        assert bit_score(2000, 0.05, 0.1) > bit_score(1000, 0.05, 0.1)
+
+    def test_hf_thresholds_explain_the_fpr_blowup(self):
+        """Section VI-B quantified: at H_f = 4000 the genome-scale
+        E-value is order-1 (near-zero observed FPR), while dropping to
+        H_f = 3000 multiplies the expected false positives by
+        ``exp(lambda * 1000)`` — three to four orders of magnitude,
+        matching the paper's 0.0007% -> 1.48% FPR jump."""
+        scoring = lastz_default()
+        lam = karlin_lambda(scoring)
+        stats = ScoreStatistics(lam=lam, k=0.1)
+        strict = stats.evalue(4000, 10**8, 10**8)
+        lenient = stats.evalue(3000, 10**8, 10**8)
+        assert strict < 10
+        assert lenient / strict > 1000
+
+
+class TestEstimateK:
+    def test_k_in_plausible_range(self, rng):
+        scoring = unit(match=1, mismatch=-1, gap_open=2, gap_extend=1)
+        k = estimate_k(scoring, rng, sample_length=100, samples=15)
+        assert 1e-6 < k < 10
+
+
+class TestGapDistribution:
+    def test_gap_lengths_collected(self):
+        cigar = Cigar.parse("10=3D5=2I10=")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=28,
+            query_start=0,
+            query_end=27,
+            score=0,
+            cigar=cigar,
+        )
+        lengths = gap_length_distribution([alignment])
+        assert sorted(lengths.tolist()) == [2, 3]
+
+    def test_empty(self):
+        assert gap_length_distribution([]).size == 0

@@ -1,0 +1,120 @@
+"""Ungapped X-drop extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    ungapped_extend,
+    ungapped_extend_batch,
+    unit,
+)
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+
+
+@pytest.fixture
+def scoring():
+    return unit(match=10, mismatch=-5, gap_open=15, gap_extend=5)
+
+
+class TestSingle:
+    def test_perfect_diagonal(self, scoring):
+        t = Sequence.from_string("ACGTACGTAC")
+        result = ungapped_extend(t, t, 4, 4, scoring, xdrop=20)
+        assert result.score == 10 * 10
+        assert result.target_start == 0
+        assert result.target_end == 10
+
+    def test_extension_stops_at_xdrop(self, scoring):
+        # 6 matches then garbage: right extension should stop after the
+        # matches once the score has dropped by more than xdrop.
+        t = Sequence.from_string("ACGTAC" + "T" * 20)
+        q = Sequence.from_string("ACGTAC" + "G" * 20)
+        result = ungapped_extend(t, q, 0, 0, scoring, xdrop=12)
+        assert result.score == 6 * 10
+        assert result.target_end <= 9
+
+    def test_left_extension(self, scoring):
+        t = Sequence.from_string("ACGTACGT")
+        result = ungapped_extend(t, t, 8, 8, scoring, xdrop=50)
+        assert result.score == 80
+        assert result.target_start == 0
+
+    def test_mismatch_tolerated_within_xdrop(self, scoring):
+        t = Sequence.from_string("ACGTACGTAA")
+        q = Sequence.from_string("ACGTTCGTAA")
+        result = ungapped_extend(t, q, 0, 0, scoring, xdrop=30)
+        assert result.score == 9 * 10 - 5
+
+    def test_no_positive_extension(self, scoring):
+        t = Sequence.from_string("AAAA")
+        q = Sequence.from_string("TTTT")
+        result = ungapped_extend(t, q, 0, 0, scoring, xdrop=3)
+        assert result.score == 0
+        assert result.target_start == result.target_end == 0
+
+    def test_boundary_clamping(self, scoring):
+        t = Sequence.from_string("ACG")
+        result = ungapped_extend(t, t, 0, 0, scoring, xdrop=100)
+        assert result.score == 30
+        assert result.cells <= 2 * len(t)
+
+    def test_indel_breaks_diagonal(self, scoring):
+        # An insertion shifts the frame; scores decorrelate after it.
+        t = Sequence.from_string("ACGTACGT" + "ACGTACGTACGT")
+        q = Sequence.from_string("ACGTACGT" + "G" + "ACGTACGTACG")
+        full = ungapped_extend(t, q, 0, 0, scoring, xdrop=25)
+        assert full.score <= 8 * 10 + 10  # cannot bridge the indel
+
+
+class TestBatch:
+    def test_batch_matches_single(self, rng):
+        scoring = lastz_default()
+        t = Sequence(rng.integers(0, 4, 600).astype(np.uint8), "t")
+        q = Sequence(rng.integers(0, 4, 600).astype(np.uint8), "q")
+        # plant identical segments to create real hits
+        codes_q = q.codes.copy()
+        codes_q[100:180] = t.codes[200:280]
+        q = Sequence(codes_q, "q")
+        t_pos = np.array([200, 240, 0, 599])
+        q_pos = np.array([100, 140, 0, 599])
+        scores, lspans, rspans = ungapped_extend_batch(
+            t, q, t_pos, q_pos, scoring, xdrop=910, max_length=128
+        )
+        for i in range(t_pos.size):
+            single = ungapped_extend(
+                t,
+                q,
+                int(t_pos[i]),
+                int(q_pos[i]),
+                scoring,
+                xdrop=910,
+                max_length=128,
+            )
+            assert scores[i] == single.score
+            if single.score > 0:
+                assert rspans[i] == single.target_end - t_pos[i]
+                assert lspans[i] == t_pos[i] - single.target_start
+
+    def test_empty_batch(self, rng):
+        scoring = lastz_default()
+        t = Sequence(rng.integers(0, 4, 10).astype(np.uint8))
+        scores, lspans, rspans = ungapped_extend_batch(
+            t, t, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            scoring, xdrop=100,
+        )
+        assert scores.size == 0
+
+    def test_out_of_range_positions_score_zero_side(self, rng):
+        scoring = lastz_default()
+        t = Sequence(rng.integers(0, 4, 50).astype(np.uint8))
+        scores, _, _ = ungapped_extend_batch(
+            t,
+            t,
+            np.array([0]),
+            np.array([0]),
+            scoring,
+            xdrop=910,
+            max_length=64,
+        )
+        assert scores[0] == 50 * 91 or scores[0] > 0

@@ -1,0 +1,140 @@
+"""X-drop extension kernel (GACT-X tile engine) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import unit, xdrop_extend
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+
+from .. import reference
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+BIG_Y = 10**9
+
+
+@pytest.fixture
+def scoring():
+    return unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+
+
+class TestSemantics:
+    def test_perfect_extension(self, scoring):
+        s = Sequence.from_string("ACGTACGT")
+        result = xdrop_extend(s, s, scoring, BIG_Y)
+        assert result.score == 40
+        assert (result.max_i, result.max_j) == (8, 8)
+        assert str(result.cigar) == "8="
+
+    def test_path_starts_at_origin(self, scoring):
+        # Best local match is offset; extension must anchor at (0,0) and
+        # charge the leading gap.
+        t = Sequence.from_string("GGACGTACGT")
+        q = Sequence.from_string("ACGTACGT")
+        result = xdrop_extend(t, q, scoring, BIG_Y)
+        assert result.cigar.target_span == result.max_j
+        assert result.cigar.query_span == result.max_i
+        # walk starts at origin: spans equal max positions exactly
+
+    def test_empty_inputs(self, scoring):
+        empty = Sequence.from_string("")
+        s = Sequence.from_string("ACG")
+        result = xdrop_extend(empty, s, scoring, 10)
+        assert result.score == 0
+        assert result.cells == 0
+
+    def test_negative_ydrop_rejected(self, scoring):
+        s = Sequence.from_string("ACG")
+        with pytest.raises(ValueError):
+            xdrop_extend(s, s, scoring, -1)
+
+    def test_no_traceback_mode(self, scoring):
+        s = Sequence.from_string("ACGTACGT")
+        result = xdrop_extend(s, s, scoring, BIG_Y, with_traceback=False)
+        assert result.cigar is None
+        assert result.score == 40
+
+
+class TestPruning:
+    def test_pruning_reduces_cells(self, scoring, rng):
+        t = Sequence(rng.integers(0, 4, 200).astype(np.uint8))
+        q = Sequence(rng.integers(0, 4, 200).astype(np.uint8))
+        full = xdrop_extend(t, q, scoring, BIG_Y)
+        pruned = xdrop_extend(t, q, scoring, 10)
+        assert pruned.cells < full.cells
+
+    def test_large_y_matches_oracle(self, rng):
+        scoring = lastz_default()
+        for _ in range(5):
+            t = Sequence(rng.integers(0, 4, 40).astype(np.uint8))
+            q = Sequence(rng.integers(0, 4, 40).astype(np.uint8))
+            result = xdrop_extend(t, q, scoring, BIG_Y)
+            assert result.score == reference.extension_score(t, q, scoring)
+
+    def test_score_monotone_in_y(self, scoring, rng):
+        t = Sequence(rng.integers(0, 4, 120).astype(np.uint8))
+        codes = t.codes.copy()
+        # introduce a long gap structure
+        q = Sequence(np.concatenate([codes[:50], codes[80:]]))
+        scores = [
+            xdrop_extend(t, q, scoring, y).score for y in (5, 20, 100, BIG_Y)
+        ]
+        assert scores == sorted(scores)
+
+    def test_ydrop_bridges_bounded_gaps(self):
+        scoring = unit(match=10, mismatch=-10, gap_open=10, gap_extend=5)
+        base = Sequence.from_string("ACGTACGTACGTACGTACGT")
+        gapped = Sequence.from_string(
+            "ACGTACGTAC" + "TTTTT" + "GTACGTACGT"
+        )
+        # gap of 5 costs 10 + 4*5 = 30
+        bridged = xdrop_extend(base, gapped, scoring, ydrop=100)
+        broken = xdrop_extend(base, gapped, scoring, ydrop=9)
+        assert bridged.score > broken.score
+
+    def test_row_windows_recorded(self, scoring):
+        s = Sequence.from_string("ACGTACGTACGT")
+        result = xdrop_extend(s, s, scoring, 10)
+        assert result.rows_computed == len(result.row_windows)
+        assert result.rows_computed >= 1
+        for lo, hi in result.row_windows:
+            assert 1 <= lo <= hi <= len(s)
+
+    def test_cells_match_windows(self, scoring):
+        s = Sequence.from_string("ACGTACGTACGTACGT")
+        result = xdrop_extend(s, s, scoring, 12)
+        expected = sum(hi - lo + 1 for lo, hi in result.row_windows)
+        assert result.cells == expected
+
+
+class TestAgainstOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(dna, dna)
+    def test_unbounded_y_equals_extension_oracle(self, t_text, q_text):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        result = xdrop_extend(t, q, scoring, BIG_Y)
+        assert result.score == reference.extension_score(t, q, scoring)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna, st.integers(0, 60))
+    def test_cigar_score_consistency(self, t_text, q_text, ydrop):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        result = xdrop_extend(t, q, scoring, ydrop)
+        if result.score > 0:
+            assert (
+                reference.cigar_score(result.cigar, t, q, scoring)
+                == result.score
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna, st.integers(0, 40))
+    def test_pruned_never_exceeds_oracle(self, t_text, q_text, ydrop):
+        scoring = unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        result = xdrop_extend(t, q, scoring, ydrop)
+        assert result.score <= reference.extension_score(t, q, scoring)

@@ -1,0 +1,82 @@
+"""Exon-coverage metric tests."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.annotate import exon_coverage, uncovered_exons
+from repro.chain import build_chains
+from repro.genome import Interval
+
+
+def chains_covering(t_start, length):
+    alignment = Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + length,
+        query_start=t_start,
+        query_end=t_start + length,
+        score=length * 10,
+        cigar=Cigar.from_runs([("=", length)]),
+    )
+    return build_chains([alignment])
+
+
+class TestExonCoverage:
+    def test_fully_covered_exon(self):
+        chains = chains_covering(100, 500)
+        report = exon_coverage(
+            chains, [Interval(200, 300)], target_length=1000
+        )
+        assert report.covered_exons == 1
+        assert report.coverage == 1.0
+
+    def test_uncovered_exon(self):
+        chains = chains_covering(100, 50)
+        report = exon_coverage(
+            chains, [Interval(500, 600)], target_length=1000
+        )
+        assert report.covered_exons == 0
+
+    def test_partial_coverage_threshold(self):
+        chains = chains_covering(0, 130)  # covers 30% of [100, 200)
+        exons = [Interval(100, 200)]
+        strict = exon_coverage(
+            chains, exons, target_length=1000, min_fraction=0.5
+        )
+        lenient = exon_coverage(
+            chains, exons, target_length=1000, min_fraction=0.25
+        )
+        assert strict.covered_exons == 0
+        assert lenient.covered_exons == 1
+
+    def test_multiple_exons(self):
+        chains = chains_covering(0, 400)
+        exons = [Interval(100, 200), Interval(600, 700)]
+        report = exon_coverage(chains, exons, target_length=1000)
+        assert report.total_exons == 2
+        assert report.covered_exons == 1
+        assert report.coverage == 0.5
+
+    def test_empty_exons(self):
+        report = exon_coverage([], [], target_length=100)
+        assert report.coverage == 0.0
+
+    def test_min_fraction_validation(self):
+        with pytest.raises(ValueError):
+            exon_coverage([], [], target_length=10, min_fraction=0.0)
+
+    def test_uncovered_exons_listed(self):
+        chains = chains_covering(0, 400)
+        exons = [Interval(100, 200), Interval(600, 700, name="missed")]
+        missed = uncovered_exons(chains, exons, target_length=1000)
+        assert len(missed) == 1
+        assert missed[0].name == "missed"
+
+    def test_exon_beyond_target_clamped(self):
+        chains = chains_covering(0, 100)
+        report = exon_coverage(
+            chains, [Interval(950, 1050)], target_length=1000
+        )
+        assert report.total_exons == 1
+        assert report.covered_exons == 0

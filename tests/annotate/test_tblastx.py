@@ -1,0 +1,91 @@
+"""BLOSUM62 and mini-TBLASTX tests."""
+
+import numpy as np
+import pytest
+
+from repro.annotate import (
+    TblastxParams,
+    blosum62,
+    encode_protein,
+    find_orthologous_exons,
+)
+from repro.genome import Interval, Sequence, make_species_pair
+
+
+class TestBlosum62:
+    def test_symmetric(self):
+        matrix = blosum62()
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_known_values(self):
+        matrix = blosum62()
+        w = int(encode_protein("W")[0])
+        a = int(encode_protein("A")[0])
+        r = int(encode_protein("R")[0])
+        assert matrix[w, w] == 11
+        assert matrix[a, a] == 4
+        assert matrix[a, r] == -1
+
+    def test_diagonal_positive_for_residues(self):
+        matrix = blosum62()
+        assert all(matrix[i, i] > 0 for i in range(20))
+
+    def test_stop_penalised(self):
+        matrix = blosum62()
+        stop = int(encode_protein("*")[0])
+        a = int(encode_protein("A")[0])
+        assert matrix[stop, a] == -4
+        assert matrix[stop, stop] == 1
+
+
+class TestTblastx:
+    def test_planted_exons_found(self, rng):
+        pair = make_species_pair(
+            12000, 0.6, rng, exon_count=6, alignable_fraction=0.4
+        )
+        hits = find_orthologous_exons(
+            pair.target.genome, pair.target.exons, pair.query.genome
+        )
+        assert len(hits) >= len(pair.target.exons) - 1
+
+    def test_random_exons_not_found(self, rng):
+        target = Sequence(
+            rng.integers(0, 4, 5000).astype(np.uint8), "t"
+        )
+        query = Sequence(rng.integers(0, 4, 5000).astype(np.uint8), "q")
+        exons = [Interval(1000, 1150), Interval(3000, 3200)]
+        hits = find_orthologous_exons(
+            target, exons, query, TblastxParams(threshold=80)
+        )
+        assert hits == []
+
+    def test_reverse_strand_exon_found(self, rng):
+        target = Sequence(
+            rng.integers(0, 4, 4000).astype(np.uint8), "t"
+        )
+        q_codes = rng.integers(0, 4, 4000).astype(np.uint8)
+        exon = Interval(1000, 1240)
+        segment = Sequence(target.codes[exon.start : exon.end])
+        q_codes[2000 : 2000 + exon.length] = (
+            segment.reverse_complement().codes
+        )
+        query = Sequence(q_codes, "q")
+        hits = find_orthologous_exons(target, [exon], query)
+        assert len(hits) == 1
+        assert hits[0].query_frame >= 3  # reverse frame
+
+    def test_hit_scores_reported(self, rng):
+        pair = make_species_pair(8000, 0.3, rng, exon_count=3)
+        hits = find_orthologous_exons(
+            pair.target.genome, pair.target.exons, pair.query.genome
+        )
+        for hit in hits:
+            assert hit.score >= TblastxParams().threshold
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            TblastxParams(word_size=0)
+
+    def test_empty_exon_list(self, rng):
+        target = Sequence(rng.integers(0, 4, 1000).astype(np.uint8))
+        assert find_orthologous_exons(target, [], target) == []

@@ -1,0 +1,98 @@
+"""Codon translation tests."""
+
+import numpy as np
+import pytest
+
+from repro.annotate import (
+    AA_ALPHABET,
+    AA_STOP,
+    AA_X,
+    decode_protein,
+    encode_protein,
+    six_frame_translations,
+    translate,
+)
+from repro.genome import Sequence
+
+
+class TestGeneticCode:
+    @pytest.mark.parametrize(
+        "codon,amino",
+        [
+            ("ATG", "M"),
+            ("TGG", "W"),
+            ("TAA", "*"),
+            ("TAG", "*"),
+            ("TGA", "*"),
+            ("TTT", "F"),
+            ("AAA", "K"),
+            ("GGG", "G"),
+            ("CCC", "P"),
+            ("GCT", "A"),
+            ("CGA", "R"),
+            ("AGC", "S"),
+            ("CAT", "H"),
+            ("GAA", "E"),
+            ("GAC", "D"),
+            ("TGT", "C"),
+            ("CAA", "Q"),
+            ("AAC", "N"),
+            ("ATA", "I"),
+            ("CTG", "L"),
+            ("GTT", "V"),
+            ("ACG", "T"),
+            ("TAC", "Y"),
+        ],
+    )
+    def test_codon_translation(self, codon, amino):
+        seq = Sequence.from_string(codon)
+        assert decode_protein(translate(seq)) == amino
+
+    def test_orf(self):
+        seq = Sequence.from_string("ATGAAACGTTAG")
+        assert decode_protein(translate(seq)) == "MKR*"
+
+    def test_frames(self):
+        seq = Sequence.from_string("AATGAAA")
+        assert decode_protein(translate(seq, 1)) == "MK"
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            translate(Sequence.from_string("ATG"), 3)
+
+    def test_ambiguous_codon_is_x(self):
+        seq = Sequence.from_string("ATNAAA")
+        assert decode_protein(translate(seq)) == "XK"
+
+    def test_partial_codon_dropped(self):
+        seq = Sequence.from_string("ATGAA")
+        assert decode_protein(translate(seq)) == "M"
+
+    def test_empty(self):
+        assert translate(Sequence.from_string("")).size == 0
+
+
+class TestSixFrames:
+    def test_six_frames_returned(self):
+        frames = six_frame_translations(
+            Sequence.from_string("ATGAAACGTTAGACG")
+        )
+        assert len(frames) == 6
+
+    def test_reverse_frames_use_revcomp(self):
+        seq = Sequence.from_string("CAT")  # revcomp ATG
+        frames = six_frame_translations(seq)
+        assert decode_protein(frames[3]) == "M"
+
+
+class TestProteinEncoding:
+    def test_roundtrip(self):
+        text = "ARNDCQEGHILKMFPSTWYVX*"
+        assert decode_protein(encode_protein(text)) == text
+
+    def test_unknown_becomes_x(self):
+        assert decode_protein(encode_protein("B")) == "X"
+
+    def test_alphabet_constants(self):
+        assert AA_ALPHABET[AA_X] == "X"
+        assert AA_ALPHABET[AA_STOP] == "*"

@@ -1,0 +1,112 @@
+"""Chainer tests on synthetic block sets."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import Chain, GapCosts, build_chains
+
+
+def block(t_start, q_start, length, score, strand=1, names=("t", "q")):
+    return Alignment(
+        target_name=names[0],
+        query_name=names[1],
+        target_start=t_start,
+        target_end=t_start + length,
+        query_start=q_start,
+        query_end=q_start + length,
+        score=score,
+        cigar=Cigar.from_runs([("=", length)]),
+        strand=strand,
+    )
+
+
+class TestChaining:
+    def test_colinear_blocks_form_one_chain(self):
+        blocks = [
+            block(0, 0, 100, 5000),
+            block(200, 210, 100, 5000),
+            block(400, 420, 100, 5000),
+        ]
+        chains = build_chains(blocks)
+        assert len(chains) == 1
+        assert len(chains[0]) == 3
+        assert chains[0].matches == 300
+
+    def test_chain_score_subtracts_gap_costs(self):
+        gap_costs = GapCosts.loose()
+        blocks = [block(0, 0, 100, 5000), block(200, 200, 100, 5000)]
+        (chain,) = build_chains(blocks, gap_costs)
+        expected = 10000 - float(gap_costs.cost(100, 100))
+        assert chain.score == pytest.approx(expected)
+
+    def test_non_colinear_blocks_stay_separate(self):
+        blocks = [
+            block(0, 500, 100, 5000),
+            block(500, 0, 100, 5000),  # crossed: cannot chain
+        ]
+        chains = build_chains(blocks)
+        assert len(chains) == 2
+
+    def test_distant_blocks_not_chained_when_gap_too_costly(self):
+        blocks = [block(0, 0, 10, 400), block(500000, 500000, 10, 400)]
+        chains = build_chains(blocks)
+        # chaining would cost ~60k+; blocks stand alone
+        assert len(chains) == 2
+
+    def test_strands_partitioned(self):
+        blocks = [block(0, 0, 50, 1000), block(100, 100, 50, 1000, strand=-1)]
+        chains = build_chains(blocks)
+        assert len(chains) == 2
+        assert {c.strand for c in chains} == {1, -1}
+
+    def test_sequences_partitioned(self):
+        blocks = [
+            block(0, 0, 50, 1000, names=("t1", "q")),
+            block(100, 100, 50, 1000, names=("t2", "q")),
+        ]
+        assert len(build_chains(blocks)) == 2
+
+    def test_min_score_filters(self):
+        blocks = [block(0, 0, 10, 100)]
+        assert build_chains(blocks, min_score=200) == []
+        assert len(build_chains(blocks, min_score=50)) == 1
+
+    def test_chains_sorted_by_score(self):
+        blocks = [block(0, 0, 10, 100), block(1000, 5000, 100, 9000)]
+        chains = build_chains(blocks)
+        assert chains[0].score >= chains[1].score
+
+    def test_each_block_used_once(self):
+        blocks = [
+            block(0, 0, 100, 5000),
+            block(150, 150, 100, 5000),
+            block(300, 300, 100, 5000),
+            block(150, 450, 100, 5000),  # competes for the middle slot
+        ]
+        chains = build_chains(blocks)
+        used = [b for c in chains for b in c.blocks]
+        assert len(used) == len(set(id(b) for b in used)) == 4
+
+    def test_empty_input(self):
+        assert build_chains([]) == []
+
+
+class TestChainProperties:
+    def test_chain_coordinates(self):
+        blocks = [block(10, 20, 50, 1000), block(100, 120, 50, 1000)]
+        (chain,) = build_chains(blocks)
+        assert chain.target_start == 10
+        assert chain.target_end == 150
+        assert chain.query_start == 20
+        assert chain.query_end == 170
+
+    def test_blocks_ordered_within_chain(self):
+        blocks = [block(200, 220, 50, 2000), block(0, 0, 50, 2000)]
+        (chain,) = build_chains(blocks)
+        starts = [b.target_start for b in chain.blocks]
+        assert starts == sorted(starts)
+
+    def test_aligned_pairs(self):
+        blocks = [block(0, 0, 30, 500)]
+        (chain,) = build_chains(blocks)
+        assert chain.aligned_pairs == 30

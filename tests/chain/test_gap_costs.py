@@ -1,0 +1,61 @@
+"""Chain gap-cost table tests."""
+
+import numpy as np
+import pytest
+
+from repro.chain import GapCosts
+
+
+@pytest.fixture
+def loose():
+    return GapCosts.loose()
+
+
+@pytest.fixture
+def medium():
+    return GapCosts.medium()
+
+
+class TestCurves:
+    def test_zero_gap_is_free(self, loose):
+        assert loose.cost(0, 0) == 0.0
+
+    def test_table_knots_exact(self, loose):
+        # Knots from the UCSC loose table.
+        assert loose.cost(1, 0) == 325
+        assert loose.cost(0, 1) == 325
+        assert loose.cost(111, 0) == 600
+        assert loose.cost(2111, 0) == 1100
+
+    def test_both_gap_uses_combined_size(self, loose):
+        assert loose.cost(1, 1) == 660  # bothGap at size 2
+        assert loose.cost(55, 56) == pytest.approx(900)  # size 111
+
+    def test_interpolation_between_knots(self, loose):
+        low, high = loose.cost(111, 0), loose.cost(2111, 0)
+        mid = loose.cost(1111, 0)
+        assert low < mid < high
+
+    def test_extrapolation_beyond_table(self, loose):
+        last = loose.cost(252111, 0)
+        beyond = loose.cost(352111, 0)
+        slope = (56600 - 31600) / (252111 - 152111)
+        assert beyond == pytest.approx(last + 100000 * slope)
+
+    def test_monotone_nondecreasing(self, loose):
+        sizes = np.array([1, 2, 5, 50, 500, 5000, 50000, 500000])
+        costs = loose.cost(sizes, np.zeros_like(sizes))
+        assert (np.diff(costs) >= 0).all()
+
+    def test_vectorised(self, loose):
+        costs = loose.cost(np.array([1, 0, 3]), np.array([0, 1, 4]))
+        assert costs.shape == (3,)
+        assert costs[2] == loose.cost(3, 4)
+
+
+class TestPresets:
+    def test_medium_is_steeper_for_large_gaps(self, loose, medium):
+        assert medium.cost(50000, 0) > loose.cost(50000, 0)
+
+    def test_both_gap_costs_more_than_single(self, loose):
+        assert loose.cost(10, 10) > loose.cost(20, 0)

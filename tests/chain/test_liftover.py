@@ -1,0 +1,108 @@
+"""Liftover tests."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import LiftOver, best_lift, build_chains
+
+
+def make_chain(cigar_text, t_start=100, q_start=500):
+    cigar = Cigar.parse(cigar_text)
+    alignment = Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + cigar.target_span,
+        query_start=q_start,
+        query_end=q_start + cigar.query_span,
+        score=1000,
+        cigar=cigar,
+    )
+    (chain,) = build_chains([alignment])
+    return chain
+
+
+class TestMapPosition:
+    def test_simple_offset(self):
+        lift = LiftOver(make_chain("50="))
+        assert lift.map_position(100) == 500
+        assert lift.map_position(149) == 549
+
+    def test_outside_chain_is_none(self):
+        lift = LiftOver(make_chain("50="))
+        assert lift.map_position(99) is None
+        assert lift.map_position(150) is None
+
+    def test_deletion_shifts_mapping(self):
+        # 10 aligned, 5 deleted from query (target-only), 10 aligned
+        lift = LiftOver(make_chain("10=5D10="))
+        assert lift.map_position(105) == 505
+        assert lift.map_position(112) is None  # inside the deletion
+        assert lift.map_position(115) == 510
+
+    def test_insertion_shifts_mapping(self):
+        lift = LiftOver(make_chain("10=5I10="))
+        assert lift.map_position(109) == 509
+        assert lift.map_position(110) == 515
+
+    def test_snap_to_nearest(self):
+        lift = LiftOver(make_chain("10=5D10="))
+        assert lift.map_position(112, snap=True) in (509, 510)
+
+    def test_mismatches_map_like_matches(self):
+        lift = LiftOver(make_chain("5=3X5="))
+        assert lift.map_position(106) == 506
+
+
+class TestMapInterval:
+    def test_contained_interval(self):
+        lift = LiftOver(make_chain("50="))
+        assert lift.map_interval(110, 120) == (510, 520)
+
+    def test_interval_spanning_gap(self):
+        lift = LiftOver(make_chain("10=5D10="))
+        assert lift.map_interval(105, 118) == (505, 513)
+
+    def test_unmapped_interval(self):
+        lift = LiftOver(make_chain("10="))
+        assert lift.map_interval(500, 510) is None
+
+    def test_min_fraction(self):
+        lift = LiftOver(make_chain("10=90D10="))
+        # only 10 of 100 bases align
+        assert lift.map_interval(105, 205, min_fraction=0.5) is None
+        assert lift.map_interval(105, 205, min_fraction=0.05) is not None
+
+    def test_empty_interval_rejected(self):
+        lift = LiftOver(make_chain("10="))
+        with pytest.raises(ValueError):
+            lift.map_interval(5, 5)
+
+
+class TestCoverage:
+    def test_coverage_fractions(self):
+        lift = LiftOver(make_chain("10=10D10="))
+        assert lift.coverage(100, 130) == pytest.approx(20 / 30)
+        assert lift.coverage(110, 120) == 0.0
+        assert lift.coverage(0, 10) == 0.0
+
+
+class TestBestLift:
+    def test_prefers_higher_scoring_chain(self):
+        low = make_chain("50=", t_start=100, q_start=500)
+        high_alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=100,
+            target_end=150,
+            query_start=900,
+            query_end=950,
+            score=9000,
+            cigar=Cigar.parse("50="),
+        )
+        (high,) = build_chains([high_alignment])
+        assert best_lift([low, high], 120) == 920
+
+    def test_none_when_uncovered(self):
+        chain = make_chain("10=")
+        assert best_lift([chain], 5000) is None

@@ -1,0 +1,99 @@
+"""Chain sensitivity-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import (
+    block_length_histogram,
+    build_chains,
+    compare,
+    fraction_below,
+    mean_top_score,
+    top_chain_scores,
+    total_matches,
+    ungapped_block_lengths,
+)
+
+
+def chain_with_cigar(cigar_text, t_start=0, score=1000):
+    cigar = Cigar.parse(cigar_text)
+    alignment = Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + cigar.target_span,
+        query_start=t_start,
+        query_end=t_start + cigar.query_span,
+        score=score,
+        cigar=cigar,
+    )
+    (chain,) = build_chains([alignment])
+    return chain
+
+
+class TestScores:
+    def test_top_chain_scores(self):
+        chains = [
+            chain_with_cigar("10=", score=s) for s in (100, 900, 500)
+        ]
+        assert top_chain_scores(chains, 2) == [900, 500]
+
+    def test_mean_top_score(self):
+        chains = [chain_with_cigar("10=", score=s) for s in (100, 300)]
+        assert mean_top_score(chains) == 200
+
+    def test_mean_top_score_empty(self):
+        assert mean_top_score([]) == 0.0
+
+    def test_total_matches(self):
+        chains = [chain_with_cigar("10=2X"), chain_with_cigar("5=")]
+        assert total_matches(chains) == 15
+
+
+class TestCompare:
+    def test_comparison_ratios(self):
+        baseline = [chain_with_cigar("10=", score=1000)]
+        improved = [chain_with_cigar("30=", score=1100)]
+        result = compare(baseline, improved)
+        assert result.top_score_gain == pytest.approx(0.1)
+        assert result.match_ratio == pytest.approx(3.0)
+
+    def test_zero_baseline(self):
+        improved = [chain_with_cigar("10=", score=100)]
+        result = compare([], improved)
+        assert result.match_ratio == float("inf")
+        assert result.top_score_gain == 0.0
+
+
+class TestBlockLengths:
+    def test_ungapped_blocks_from_chains(self):
+        chain = chain_with_cigar("30=1I10=1D20=")
+        lengths = ungapped_block_lengths([chain])
+        assert sorted(lengths.tolist()) == [10, 20, 30]
+
+    def test_top_k_restriction(self):
+        big = chain_with_cigar("100=", score=9000)
+        small = chain_with_cigar("7=", t_start=500, score=10)
+        lengths = ungapped_block_lengths([small, big], top_k=1)
+        assert lengths.tolist() == [100]
+
+    def test_fraction_below(self):
+        lengths = np.array([10, 20, 40, 80])
+        assert fraction_below(lengths, 30) == 0.5
+        assert fraction_below(lengths, 5) == 0.0
+        assert fraction_below(np.array([]), 30) == 0.0
+
+    def test_histogram(self):
+        lengths = np.array([1, 2, 4, 8, 16, 32, 64])
+        counts, edges = block_length_histogram(lengths)
+        assert counts.sum() <= lengths.size
+        assert counts.sum() >= lengths.size - 1  # top edge inclusive detail
+        assert (np.diff(edges) > 0).all()
+
+    def test_histogram_custom_bins(self):
+        lengths = np.array([5, 15, 25])
+        counts, edges = block_length_histogram(
+            lengths, bin_edges=[0, 10, 20, 30]
+        )
+        assert counts.tolist() == [1, 1, 1]

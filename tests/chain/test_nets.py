@@ -1,0 +1,105 @@
+"""Chain netting tests."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import build_chains, build_net
+
+
+def chain_at(t_start, q_start, length, score):
+    alignment = Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + length,
+        query_start=q_start,
+        query_end=q_start + length,
+        score=score,
+        cigar=Cigar.from_runs([("=", length)]),
+    )
+    (chain,) = build_chains([alignment])
+    return chain
+
+
+def gapped_chain(t_start, q_start, score):
+    """Two blocks separated by a 400 bp target gap."""
+    blocks = [
+        Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=t_start,
+            target_end=t_start + 200,
+            query_start=q_start,
+            query_end=q_start + 200,
+            score=score / 2,
+            cigar=Cigar.from_runs([("=", 200)]),
+        ),
+        Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=t_start + 600,
+            target_end=t_start + 800,
+            query_start=q_start + 600,
+            query_end=q_start + 800,
+            score=score / 2,
+            cigar=Cigar.from_runs([("=", 200)]),
+        ),
+    ]
+    (chain,) = build_chains(blocks)
+    return chain
+
+
+class TestBuildNet:
+    def test_single_chain_net(self):
+        chain = chain_at(100, 100, 500, 10_000)
+        net = build_net([chain], target_length=1000)
+        assert len(net.entries) == 1
+        entry = net.entries[0]
+        assert entry.level == 1
+        assert (entry.target_start, entry.target_end) == (100, 600)
+        assert net.fill_fraction() == pytest.approx(0.5)
+
+    def test_best_chain_wins_overlap(self):
+        strong = chain_at(0, 0, 500, 50_000)
+        weak = chain_at(200, 5000, 500, 1_000)
+        net = build_net([strong, weak], target_length=1000)
+        top = net.entries
+        assert top[0].chain is strong
+        # weak claims only the free piece right of the strong chain
+        weak_entries = [e for e in top if e.chain is weak]
+        assert weak_entries
+        assert weak_entries[0].target_start >= 500
+
+    def test_gap_filled_by_child(self):
+        parent = gapped_chain(0, 0, 100_000)
+        filler = chain_at(300, 9000, 200, 500)
+        net = build_net([parent, filler], target_length=2000)
+        assert net.entries[0].chain is parent
+        children = net.entries[0].children
+        assert children
+        assert children[0].chain is filler
+        assert children[0].level == 2
+        assert 200 <= children[0].target_start < 600
+
+    def test_min_span_drops_slivers(self):
+        big = chain_at(0, 0, 900, 50_000)
+        sliver = chain_at(890, 5000, 20, 100)
+        net = build_net([big, sliver], target_length=1000, min_span=25)
+        assert all(e.chain is big for e in net.all_entries())
+
+    def test_depth(self):
+        parent = gapped_chain(0, 0, 100_000)
+        filler = chain_at(300, 9000, 200, 500)
+        net = build_net([parent, filler], target_length=2000)
+        assert net.entries[0].depth() == 2
+
+    def test_empty(self):
+        net = build_net([], target_length=100)
+        assert net.entries == []
+        assert net.fill_fraction() == 0.0
+
+    def test_all_entries_walks_hierarchy(self):
+        parent = gapped_chain(0, 0, 100_000)
+        filler = chain_at(300, 9000, 200, 500)
+        net = build_net([parent, filler], target_length=2000)
+        assert len(net.all_entries()) == 2

@@ -1,0 +1,77 @@
+"""Coverage-grid (anchor absorption) tests."""
+
+import pytest
+
+from repro.align import Alignment, AnchorHit, Cigar
+from repro.core import CoverageGrid
+
+
+def diagonal_alignment(t_start, q_start, length, strand=1):
+    return Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + length,
+        query_start=q_start,
+        query_end=q_start + length,
+        score=length,
+        cigar=Cigar.from_runs([("=", length)]),
+        strand=strand,
+    )
+
+
+class TestCoverageGrid:
+    def test_anchor_on_path_absorbed(self):
+        grid = CoverageGrid(granularity=64)
+        grid.add_alignment(diagonal_alignment(1000, 2000, 500))
+        assert grid.absorbs(AnchorHit(1250, 2250, 100))
+
+    def test_anchor_near_path_absorbed(self):
+        # Filter anchors sit up to a band-width off the path; the grid
+        # dilates by one cell.
+        grid = CoverageGrid(granularity=64)
+        grid.add_alignment(diagonal_alignment(1000, 2000, 500))
+        assert grid.absorbs(AnchorHit(1250, 2250 + 60, 100))
+
+    def test_distant_anchor_not_absorbed(self):
+        grid = CoverageGrid(granularity=64)
+        grid.add_alignment(diagonal_alignment(1000, 2000, 500))
+        assert not grid.absorbs(AnchorHit(5000, 9000, 100))
+
+    def test_strand_separation(self):
+        grid = CoverageGrid(granularity=64)
+        grid.add_alignment(diagonal_alignment(1000, 2000, 500, strand=1))
+        assert not grid.absorbs(AnchorHit(1250, 2250, 100, strand=-1))
+
+    def test_gapped_path_covered(self):
+        cigar = Cigar.parse("200=300D200=")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=700,
+            query_start=0,
+            query_end=400,
+            score=1,
+            cigar=cigar,
+        )
+        grid = CoverageGrid(granularity=64)
+        grid.add_alignment(alignment)
+        # point after the deletion, on the path
+        assert grid.absorbs(AnchorHit(600, 300, 1))
+
+    def test_off_path_inside_bounding_box_not_absorbed(self):
+        grid = CoverageGrid(granularity=32)
+        grid.add_alignment(diagonal_alignment(0, 0, 2000))
+        # far off the diagonal but inside the bounding box
+        assert not grid.absorbs(AnchorHit(1900, 100, 1))
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            CoverageGrid(granularity=0)
+
+    def test_len_grows(self):
+        grid = CoverageGrid(granularity=64)
+        assert len(grid) == 0
+        grid.add_alignment(diagonal_alignment(0, 0, 300))
+        assert len(grid) > 0

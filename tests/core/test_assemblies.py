@@ -1,0 +1,72 @@
+"""Whole-assembly alignment tests."""
+
+import numpy as np
+import pytest
+
+from repro.chain import build_chains
+from repro.core import align_assemblies
+from repro.genome import Assembly, Sequence, split_into_chromosomes
+from repro.genome.synthesis import markov_genome
+from repro.lastz import LastzAligner
+
+
+@pytest.fixture(scope="module")
+def assembly_pair():
+    rng = np.random.default_rng(77)
+    genome = markov_genome(16000, rng, name="anc")
+    # two "chromosomes" per species, sharing content pairwise
+    target = Assembly(
+        name="asmT",
+        chromosomes=[
+            Sequence(genome.codes[:8000], name="chr1"),
+            Sequence(genome.codes[8000:], name="chr2"),
+        ],
+    )
+    # query chromosomes swap order so cross-chromosome homology exists
+    query = Assembly(
+        name="asmQ",
+        chromosomes=[
+            Sequence(genome.codes[8000:], name="chrA"),
+            Sequence(genome.codes[:8000], name="chrB"),
+        ],
+    )
+    return target, query
+
+
+class TestAlignAssemblies:
+    def test_all_chromosome_pairs_aligned(self, assembly_pair):
+        target, query = assembly_pair
+        result = align_assemblies(target, query)
+        pairs = {
+            (a.target_name, a.query_name) for a in result.alignments
+        }
+        assert ("chr1", "chrB") in pairs
+        assert ("chr2", "chrA") in pairs
+
+    def test_chains_partition_by_chromosome(self, assembly_pair):
+        target, query = assembly_pair
+        result = align_assemblies(target, query)
+        chains = build_chains(result.alignments)
+        for chain in chains:
+            names = {
+                (b.target_name, b.query_name) for b in chain.blocks
+            }
+            assert len(names) == 1
+
+    def test_workload_accumulates(self, assembly_pair):
+        target, query = assembly_pair
+        result = align_assemblies(target, query)
+        assert result.workload.filter_tiles > 0
+        assert result.workload.seed_hits > 0
+
+    def test_lastz_aligner_class(self, assembly_pair):
+        target, query = assembly_pair
+        result = align_assemblies(
+            target, query, aligner_class=LastzAligner
+        )
+        assert result.alignments
+
+    def test_matches_cover_shared_content(self, assembly_pair):
+        target, query = assembly_pair
+        result = align_assemblies(target, query)
+        assert result.total_matches > 15000

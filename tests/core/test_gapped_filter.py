@@ -1,0 +1,138 @@
+"""Gapped (banded SW) filter stage tests."""
+
+import numpy as np
+import pytest
+
+from repro.align.matrices import lastz_default
+from repro.core import FilterParams, gapped_filter
+from repro.genome import Sequence
+
+
+@pytest.fixture
+def scoring():
+    return lastz_default()
+
+
+def planted_pair(rng, length=4000, insert_at=1500, insert_len=400):
+    """Random target/query sharing one planted identical segment."""
+    target = Sequence(rng.integers(0, 4, length).astype(np.uint8), "t")
+    q_codes = rng.integers(0, 4, length).astype(np.uint8)
+    q_at = insert_at + 37
+    q_codes[q_at : q_at + insert_len] = target.codes[
+        insert_at : insert_at + insert_len
+    ]
+    return target, Sequence(q_codes, "q"), insert_at, q_at
+
+
+class TestFilter:
+    def test_planted_hit_passes(self, scoring, rng):
+        target, query, t_at, q_at = planted_pair(rng)
+        params = FilterParams(tile_size=320, band=32, threshold=4000)
+        result = gapped_filter(
+            target,
+            query,
+            np.array([t_at + 200]),
+            np.array([q_at + 200]),
+            scoring,
+            params,
+        )
+        assert len(result.anchors) == 1
+        anchor = result.anchors[0]
+        # anchor must land on the planted diagonal
+        assert abs(anchor.diagonal - (t_at - q_at)) <= 32
+        assert anchor.filter_score >= 4000
+
+    def test_random_hit_fails(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 2000).astype(np.uint8), "t")
+        query = Sequence(rng.integers(0, 4, 2000).astype(np.uint8), "q")
+        params = FilterParams(tile_size=320, band=32, threshold=4000)
+        result = gapped_filter(
+            target,
+            query,
+            np.array([800, 1200]),
+            np.array([900, 700]),
+            scoring,
+            params,
+        )
+        assert result.anchors == []
+        assert result.tiles == 2
+
+    def test_threshold_controls_pass_rate(self, scoring, rng):
+        target, query, t_at, q_at = planted_pair(rng, insert_len=60)
+        candidates_t = np.array([t_at + 30])
+        candidates_q = np.array([q_at + 30])
+        lenient = gapped_filter(
+            target, query, candidates_t, candidates_q, scoring,
+            FilterParams(threshold=2000),
+        )
+        strict = gapped_filter(
+            target, query, candidates_t, candidates_q, scoring,
+            FilterParams(threshold=20000),
+        )
+        assert len(lenient.anchors) >= len(strict.anchors)
+
+    def test_edge_tiles_are_n_padded(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 500).astype(np.uint8), "t")
+        query = Sequence(target.codes.copy(), "q")
+        params = FilterParams(tile_size=320, band=32, threshold=1000)
+        result = gapped_filter(
+            target, query, np.array([5]), np.array([5]), scoring, params
+        )
+        # tile extends past the left edge; must not crash and should pass
+        assert len(result.anchors) == 1
+
+    def test_empty_candidates(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 100).astype(np.uint8))
+        result = gapped_filter(
+            target,
+            target,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            scoring,
+            FilterParams(),
+        )
+        assert result.tiles == 0
+        assert result.cells == 0
+
+    def test_cells_accounting(self, scoring, rng):
+        target, query, t_at, q_at = planted_pair(rng)
+        params = FilterParams(tile_size=64, band=8)
+        result = gapped_filter(
+            target,
+            query,
+            np.array([t_at, t_at + 50]),
+            np.array([q_at, q_at + 50]),
+            scoring,
+            params,
+        )
+        assert result.tiles == 2
+        assert result.cells > 0
+        assert result.cells % 2 == 0
+
+    def test_gapped_filter_tolerates_indels(self, scoring, rng):
+        # Segment with an indel every ~25 bp: ungapped score per block is
+        # far below threshold, but banded SW accumulates across gaps.
+        target_core = rng.integers(0, 4, 300).astype(np.uint8)
+        query_parts = []
+        for start in range(0, 300, 25):
+            query_parts.append(target_core[start : start + 25])
+            query_parts.append(
+                rng.integers(0, 4, 1).astype(np.uint8)
+            )  # 1bp insertion
+        q_core = np.concatenate(query_parts)
+        pad_t = rng.integers(0, 4, 500).astype(np.uint8)
+        pad_q = rng.integers(0, 4, 500).astype(np.uint8)
+        target = Sequence(
+            np.concatenate([pad_t, target_core, pad_t]), "t"
+        )
+        query = Sequence(np.concatenate([pad_q, q_core, pad_q]), "q")
+        params = FilterParams(tile_size=320, band=32, threshold=4000)
+        result = gapped_filter(
+            target,
+            query,
+            np.array([500 + 150]),
+            np.array([500 + 155]),
+            scoring,
+            params,
+        )
+        assert len(result.anchors) == 1

@@ -1,0 +1,107 @@
+"""Darwin-WGA pipeline integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DarwinWGA, DarwinWGAConfig, ExtensionParams, FilterParams
+from repro.genome import make_species_pair
+from repro.seed import DsoftParams
+
+
+@pytest.fixture(scope="module")
+def aligned_result(small_pair):
+    aligner = DarwinWGA()
+    return aligner.align(
+        small_pair.target.genome, small_pair.query.genome
+    )
+
+
+class TestPipeline:
+    def test_produces_alignments(self, aligned_result):
+        assert len(aligned_result.alignments) > 0
+
+    def test_alignments_verify(self, small_pair, aligned_result):
+        for alignment in aligned_result.alignments:
+            alignment.verify(
+                small_pair.target.genome, small_pair.query.genome
+            )
+
+    def test_alignments_sorted_by_score(self, aligned_result):
+        scores = [a.score for a in aligned_result.alignments]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_duplicate_spans(self, aligned_result):
+        spans = [
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.strand)
+            for a in aligned_result.alignments
+        ]
+        assert len(spans) == len(set(spans))
+
+    def test_scores_meet_threshold(self, aligned_result):
+        threshold = DarwinWGAConfig().extension.threshold
+        assert all(
+            a.score >= threshold for a in aligned_result.alignments
+        )
+
+    def test_workload_counters_populated(self, aligned_result):
+        workload = aligned_result.workload
+        assert workload.seed_hits > 0
+        assert workload.filter_tiles > 0
+        assert workload.filter_cells > 0
+        assert workload.extension_tiles > 0
+        assert len(workload.extension_tile_traces) == workload.extension_tiles
+
+    def test_total_matches_positive(self, aligned_result):
+        assert aligned_result.total_matches > 0
+
+
+class TestStrandHandling:
+    def test_inversion_found_on_minus_strand(self):
+        rng = np.random.default_rng(31)
+        pair = make_species_pair(
+            15000,
+            0.1,
+            rng,
+            inversion_count=2,
+            indel_per_substitution=0.0,
+        )
+        result = DarwinWGA().align(
+            pair.target.genome, pair.query.genome
+        )
+        strands = {a.strand for a in result.alignments}
+        assert -1 in strands and 1 in strands
+
+    def test_plus_only_mode(self, small_pair):
+        config = DarwinWGAConfig(both_strands=False)
+        result = DarwinWGA(config).align(
+            small_pair.target.genome, small_pair.query.genome
+        )
+        assert all(a.strand == 1 for a in result.alignments)
+
+
+class TestConfig:
+    def test_scaled_config(self):
+        config = DarwinWGAConfig().scaled(0.5)
+        assert config.filtering.tile_size == 160
+        assert config.extension.tile_size == 960
+        assert config.filtering.threshold == 2000
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DarwinWGAConfig().scaled(0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            FilterParams(tile_size=0)
+        with pytest.raises(ValueError):
+            ExtensionParams(overlap=2000, tile_size=100)
+        with pytest.raises(ValueError):
+            ExtensionParams(ydrop=-5)
+
+    def test_identical_genomes_align_fully(self, rng):
+        from repro.genome.synthesis import markov_genome
+
+        genome = markov_genome(6000, rng, name="g")
+        result = DarwinWGA().align(genome, genome)
+        best = result.alignments[0]
+        assert best.matches >= len(genome) * 0.98

@@ -1,0 +1,117 @@
+"""Report-rendering tests."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import build_chains
+from repro.core import (
+    DarwinWGA,
+    alignment_detail,
+    chain_table,
+    dotplot,
+    workload_summary,
+)
+from repro.genome import Sequence
+
+
+def simple_alignment(strand=1):
+    return Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=2,
+        target_end=8,
+        query_start=0,
+        query_end=6,
+        score=42,
+        cigar=Cigar.parse("3=1X2="),
+        strand=strand,
+    )
+
+
+class TestWorkloadSummary:
+    def test_summary_fields(self, small_pair):
+        result = DarwinWGA().align(
+            small_pair.target.genome, small_pair.query.genome
+        )
+        text = workload_summary(result)
+        assert "seed hits" in text
+        assert "filter tiles" in text
+        assert "matched base pairs" in text
+
+
+class TestChainTable:
+    def test_table_renders(self, small_pair):
+        result = DarwinWGA().align(
+            small_pair.target.genome, small_pair.query.genome
+        )
+        chains = build_chains(result.alignments)
+        text = chain_table(chains)
+        assert "score" in text
+        assert len(text.splitlines()) >= 3
+
+    def test_limit(self):
+        alignments = [simple_alignment()]
+        chains = build_chains(alignments)
+        text = chain_table(chains, limit=0)
+        assert len(text.splitlines()) == 2  # header + rule only
+
+
+class TestAlignmentDetail:
+    def test_renders_three_line_blocks(self):
+        target = Sequence.from_string("TTACGACG", "t")
+        query = Sequence.from_string("ACGTCG", "q")
+        text = alignment_detail(simple_alignment(), target, query)
+        lines = text.splitlines()
+        assert lines[0].startswith("score=42")
+        t_row = next(l for l in lines if l.startswith("T "))
+        q_row = next(l for l in lines if l.startswith("Q "))
+        assert t_row[2:] == "ACGACG"
+        assert q_row[2:] == "ACGTCG"
+
+    def test_gap_rendering(self):
+        target = Sequence.from_string("ACGT", "t")
+        query = Sequence.from_string("AGT", "q")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=4,
+            query_start=0,
+            query_end=3,
+            score=1,
+            cigar=Cigar.parse("1=1D2="),
+        )
+        text = alignment_detail(alignment, target, query)
+        assert "-" in text
+
+
+class TestDotplot:
+    def test_forward_diagonal(self):
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=100,
+            query_start=0,
+            query_end=100,
+            score=1,
+            cigar=Cigar.from_runs([("=", 100)]),
+        )
+        plot = dotplot([alignment], 100, 100, size=10)
+        lines = plot.splitlines()
+        assert len(lines) == 10
+        # main diagonal marked
+        assert all(lines[i][i] == "+" for i in range(10))
+
+    def test_strand_symbols(self):
+        alignment = simple_alignment(strand=-1)
+        plot = dotplot([alignment], 10, 10, size=5)
+        assert "-" in plot
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            dotplot([], 10, 10, size=1)
+
+    def test_empty_alignments(self):
+        plot = dotplot([], 10, 10, size=4)
+        assert set(plot) <= {".", "\n"}

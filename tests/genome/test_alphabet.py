@@ -1,0 +1,90 @@
+"""Unit tests for the DNA alphabet and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genome import alphabet
+
+
+class TestEncodeDecode:
+    def test_canonical_codes(self):
+        assert list(alphabet.encode("ACGTN")) == [0, 1, 2, 3, 4]
+
+    def test_lowercase(self):
+        assert list(alphabet.encode("acgtn")) == [0, 1, 2, 3, 4]
+
+    def test_unknown_characters_become_n(self):
+        assert list(alphabet.encode("RYK-")) == [4, 4, 4, 4]
+
+    def test_decode_roundtrip(self):
+        assert alphabet.decode(alphabet.encode("GATTACA")) == "GATTACA"
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            alphabet.decode(np.array([5], dtype=np.uint8))
+
+    def test_empty(self):
+        assert alphabet.decode(alphabet.encode("")) == ""
+
+    @given(st.text(alphabet="ACGTN", max_size=200))
+    def test_roundtrip_property(self, text):
+        assert alphabet.decode(alphabet.encode(text)) == text
+
+
+class TestComplement:
+    def test_complement_pairs(self):
+        assert alphabet.decode(alphabet.complement(alphabet.encode("ACGTN"))) == "TGCAN"
+
+    def test_reverse_complement(self):
+        rc = alphabet.reverse_complement(alphabet.encode("AACG"))
+        assert alphabet.decode(rc) == "CGTT"
+
+    @given(st.text(alphabet="ACGTN", max_size=100))
+    def test_double_complement_is_identity(self, text):
+        codes = alphabet.encode(text)
+        assert alphabet.decode(alphabet.complement(alphabet.complement(codes))) == text
+
+    @given(st.text(alphabet="ACGTN", max_size=100))
+    def test_double_reverse_complement_is_identity(self, text):
+        codes = alphabet.encode(text)
+        twice = alphabet.reverse_complement(alphabet.reverse_complement(codes))
+        assert alphabet.decode(twice) == text
+
+
+class TestTransitions:
+    def test_transition_pairs(self):
+        assert alphabet.is_transition(alphabet.A, alphabet.G)
+        assert alphabet.is_transition(alphabet.G, alphabet.A)
+        assert alphabet.is_transition(alphabet.C, alphabet.T)
+        assert alphabet.is_transition(alphabet.T, alphabet.C)
+
+    def test_transversions_are_not_transitions(self):
+        assert not alphabet.is_transition(alphabet.A, alphabet.C)
+        assert not alphabet.is_transition(alphabet.A, alphabet.T)
+        assert not alphabet.is_transition(alphabet.G, alphabet.C)
+        assert not alphabet.is_transition(alphabet.G, alphabet.T)
+
+    def test_identity_is_not_a_transition(self):
+        for code in range(4):
+            assert not alphabet.is_transition(code, code)
+
+    def test_n_is_never_a_transition(self):
+        assert not alphabet.is_transition(alphabet.N, alphabet.A)
+        assert not alphabet.is_transition(alphabet.A, alphabet.N)
+
+    def test_transition_partner(self):
+        assert alphabet.transition_partner(alphabet.A) == alphabet.G
+        assert alphabet.transition_partner(alphabet.G) == alphabet.A
+        assert alphabet.transition_partner(alphabet.C) == alphabet.T
+        assert alphabet.transition_partner(alphabet.T) == alphabet.C
+
+    def test_transition_partner_rejects_n(self):
+        with pytest.raises(ValueError):
+            alphabet.transition_partner(alphabet.N)
+
+    def test_transition_is_xor_two(self):
+        # The seed machinery relies on code ^ 2 being the partner.
+        for code in range(4):
+            assert alphabet.transition_partner(code) == code ^ 2

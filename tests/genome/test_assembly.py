@@ -1,0 +1,100 @@
+"""Assembly (multi-chromosome) tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome import Assembly, Sequence, split_into_chromosomes
+from repro.genome.synthesis import markov_genome
+
+
+@pytest.fixture
+def assembly():
+    return Assembly(
+        name="asm1",
+        chromosomes=[
+            Sequence.from_string("ACGT" * 100, name="chr1"),
+            Sequence.from_string("GGCC" * 50, name="chr2"),
+            Sequence.from_string("AT" * 25, name="chr3"),
+        ],
+    )
+
+
+class TestAssembly:
+    def test_length_and_total(self, assembly):
+        assert len(assembly) == 3
+        assert assembly.total_length == 400 + 200 + 50
+
+    def test_lookup(self, assembly):
+        assert len(assembly["chr2"]) == 200
+        assert "chr3" in assembly
+        assert "chrX" not in assembly
+        with pytest.raises(KeyError):
+            assembly["chrX"]
+
+    def test_names_and_sizes(self, assembly):
+        assert assembly.names() == ["chr1", "chr2", "chr3"]
+        assert assembly.sizes()["chr1"] == 400
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly(
+                name="bad",
+                chromosomes=[
+                    Sequence.from_string("AC", name="chr1"),
+                    Sequence.from_string("GT", name="chr1"),
+                ],
+            )
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly(name="bad", chromosomes=[Sequence.from_string("AC")])
+
+    def test_add(self, assembly):
+        assembly.add(Sequence.from_string("AAAA", name="chr4"))
+        assert len(assembly) == 4
+        with pytest.raises(ValueError):
+            assembly.add(Sequence.from_string("CC", name="chr4"))
+
+    def test_gc_content_weighted(self, assembly):
+        # chr1 50%, chr2 100%, chr3 0% weighted 400/200/50
+        expected = (0.5 * 400 + 1.0 * 200 + 0.0 * 50) / 650
+        assert assembly.gc_content() == pytest.approx(expected)
+
+    def test_n50(self, assembly):
+        # lengths 400, 200, 50; half of 650 is 325 -> N50 = 400
+        assert assembly.n50() == 400
+
+    def test_fasta_roundtrip(self, assembly, tmp_path):
+        path = tmp_path / "asm.fa"
+        assembly.to_fasta(path)
+        loaded = Assembly.from_fasta(path, name="asm1")
+        assert loaded.names() == assembly.names()
+        assert loaded.total_length == assembly.total_length
+
+    def test_empty_assembly(self):
+        empty = Assembly(name="none")
+        assert empty.total_length == 0
+        assert empty.n50() == 0
+        assert empty.gc_content() == 0.0
+
+
+class TestSplit:
+    def test_even_split(self, rng):
+        genome = markov_genome(1000, rng, name="g")
+        assembly = split_into_chromosomes(genome, 4)
+        assert len(assembly) == 4
+        assert assembly.total_length == 1000
+        assert assembly.names() == ["chr1", "chr2", "chr3", "chr4"]
+
+    def test_random_split_preserves_content(self, rng):
+        genome = markov_genome(500, rng, name="g")
+        assembly = split_into_chromosomes(genome, 3, rng=rng)
+        joined = np.concatenate([c.codes for c in assembly])
+        assert np.array_equal(joined, genome.codes)
+
+    def test_validation(self, rng):
+        genome = markov_genome(10, rng)
+        with pytest.raises(ValueError):
+            split_into_chromosomes(genome, 0)
+        with pytest.raises(ValueError):
+            split_into_chromosomes(genome, 100)

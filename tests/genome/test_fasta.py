@@ -1,0 +1,86 @@
+"""Unit tests for FASTA I/O."""
+
+import io
+
+import pytest
+
+from repro.genome import (
+    Sequence,
+    fasta_string,
+    iter_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        Sequence.from_string("ACGTACGTACGT", name="chr1"),
+        Sequence.from_string("NNNNAC", name="chr2"),
+        Sequence.from_string("", name="empty"),
+    ]
+
+
+class TestRoundtrip:
+    def test_string_roundtrip(self, records):
+        text = fasta_string(records)
+        parsed = read_fasta(io.StringIO(text))
+        assert parsed == records
+        assert [p.name for p in parsed] == ["chr1", "chr2", "empty"]
+
+    def test_file_roundtrip(self, records, tmp_path):
+        path = tmp_path / "genome.fa"
+        write_fasta(records, path)
+        assert read_fasta(path) == records
+
+    def test_line_wrapping(self, records):
+        text = fasta_string(records, line_width=4)
+        body_lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith(">")
+        ]
+        assert all(len(line) <= 4 for line in body_lines)
+
+    def test_wrapped_content_identical(self, records):
+        wide = read_fasta(io.StringIO(fasta_string(records, line_width=80)))
+        narrow = read_fasta(io.StringIO(fasta_string(records, line_width=3)))
+        assert wide == narrow
+
+
+class TestParsing:
+    def test_header_keeps_first_token(self):
+        text = ">chr1 assembled by hand\nACGT\n"
+        (record,) = read_fasta(io.StringIO(text))
+        assert record.name == "chr1"
+
+    def test_multiline_record(self):
+        text = ">a\nAC\nGT\n\nAC\n"
+        (record,) = read_fasta(io.StringIO(text))
+        assert str(record) == "ACGTAC"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ValueError):
+            read_fasta(io.StringIO("ACGT\n>late\nAC\n"))
+
+    def test_empty_input(self):
+        assert read_fasta(io.StringIO("")) == []
+
+    def test_iter_is_lazy_per_record(self):
+        text = ">a\nAC\n>b\nGT\n"
+        iterator = iter_fasta(io.StringIO(text))
+        first = next(iterator)
+        assert first.name == "a"
+        second = next(iterator)
+        assert second.name == "b"
+
+    def test_lowercase_sequence(self):
+        (record,) = read_fasta(io.StringIO(">x\nacgt\n"))
+        assert str(record) == "ACGT"
+
+
+class TestValidation:
+    def test_bad_line_width(self, records):
+        with pytest.raises(ValueError):
+            fasta_string(records, line_width=0)

@@ -1,0 +1,121 @@
+"""Unit tests for the Sequence type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genome import Sequence
+
+dna = st.text(alphabet="ACGTN", max_size=200)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        s = Sequence.from_string("ACGT", name="chr1")
+        assert len(s) == 4
+        assert str(s) == "ACGT"
+        assert s.name == "chr1"
+
+    def test_rejects_bad_codes(self):
+        with pytest.raises(ValueError):
+            Sequence(np.array([7], dtype=np.uint8))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Sequence(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_codes_are_read_only(self):
+        s = Sequence.from_string("ACGT")
+        with pytest.raises(ValueError):
+            s.codes[0] = 3
+
+    def test_repr_mentions_name_and_length(self):
+        s = Sequence.from_string("ACGT" * 10, name="chrX")
+        assert "chrX" in repr(s)
+        assert "40" in repr(s)
+
+
+class TestSlicing:
+    def test_getitem_int(self):
+        s = Sequence.from_string("ACGT")
+        assert s[1] == 1
+
+    def test_getitem_slice(self):
+        s = Sequence.from_string("ACGTACGT")
+        assert str(s[2:5]) == "GTA"
+
+    def test_slice_clamps(self):
+        s = Sequence.from_string("ACGT")
+        assert str(s.slice(-5, 100)) == "ACGT"
+        assert len(s.slice(3, 2)) == 0
+
+    def test_concat(self):
+        a = Sequence.from_string("AC", name="a")
+        b = Sequence.from_string("GT")
+        assert str(a.concat(b)) == "ACGT"
+        assert a.concat(b).name == "a"
+
+
+class TestBiology:
+    def test_reverse_complement(self):
+        s = Sequence.from_string("AACGTN")
+        assert str(s.reverse_complement()) == "NACGTT"
+
+    def test_gc_content(self):
+        assert Sequence.from_string("GGCC").gc_content() == 1.0
+        assert Sequence.from_string("AATT").gc_content() == 0.0
+        assert Sequence.from_string("ACGT").gc_content() == 0.5
+
+    def test_gc_content_ignores_n(self):
+        assert Sequence.from_string("GCNN").gc_content() == 1.0
+
+    def test_gc_content_empty(self):
+        assert Sequence.from_string("NNN").gc_content() == 0.0
+
+    def test_base_counts(self):
+        counts = Sequence.from_string("AACGTNN").base_counts()
+        assert list(counts) == [2, 1, 1, 1, 2]
+
+
+class TestEquality:
+    def test_equal_sequences(self):
+        assert Sequence.from_string("ACGT") == Sequence.from_string("ACGT")
+
+    def test_name_does_not_affect_equality(self):
+        a = Sequence.from_string("ACGT", name="x")
+        b = Sequence.from_string("ACGT", name="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal(self):
+        assert Sequence.from_string("ACGT") != Sequence.from_string("ACGA")
+
+    def test_not_equal_to_string(self):
+        assert Sequence.from_string("ACGT") != "ACGT"
+
+
+class TestProperties:
+    @given(dna)
+    def test_string_roundtrip(self, text):
+        assert str(Sequence.from_string(text)) == text
+
+    @given(dna)
+    def test_reverse_complement_involution(self, text):
+        s = Sequence.from_string(text)
+        assert str(s.reverse_complement().reverse_complement()) == text
+
+    @given(dna)
+    def test_length_preserved_by_revcomp(self, text):
+        s = Sequence.from_string(text)
+        assert len(s.reverse_complement()) == len(s)
+
+    @given(dna, dna)
+    def test_concat_length(self, a, b):
+        sa, sb = Sequence.from_string(a), Sequence.from_string(b)
+        assert len(sa.concat(sb)) == len(a) + len(b)
+
+    @given(dna)
+    def test_iteration_matches_codes(self, text):
+        s = Sequence.from_string(text)
+        assert list(s) == list(s.codes)

@@ -1,0 +1,84 @@
+"""Unit tests for k-mer-preserving shuffles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome import (
+    Sequence,
+    kmer_counts,
+    shuffle_preserving_kmers,
+)
+from repro.genome.synthesis import markov_genome
+
+
+class TestKmerCounts:
+    def test_single_kmer(self):
+        counts = kmer_counts(Sequence.from_string("AAA"), 2)
+        assert counts[0] == 2  # "AA" encoded as 0*5+0
+        assert counts.sum() == 2
+
+    def test_k_longer_than_sequence(self):
+        assert kmer_counts(Sequence.from_string("AC"), 5).sum() == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmer_counts(Sequence.from_string("ACGT"), 0)
+
+
+class TestShuffle:
+    def test_dinucleotide_counts_preserved(self, rng):
+        genome = markov_genome(5000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=2)
+        assert np.array_equal(
+            kmer_counts(genome, 2), kmer_counts(shuffled, 2)
+        )
+
+    def test_length_preserved(self, rng):
+        genome = markov_genome(3000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=2)
+        assert len(shuffled) == len(genome)
+
+    def test_order_destroyed(self, rng):
+        genome = markov_genome(5000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=2)
+        assert shuffled != genome
+
+    def test_k1_preserves_composition(self, rng):
+        genome = markov_genome(2000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=1)
+        assert np.array_equal(
+            genome.base_counts(), shuffled.base_counts()
+        )
+
+    def test_k3_preserves_trinucleotides(self, rng):
+        genome = markov_genome(4000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=3)
+        assert np.array_equal(
+            kmer_counts(genome, 3), kmer_counts(shuffled, 3)
+        )
+
+    def test_short_sequence_passthrough(self, rng):
+        s = Sequence.from_string("AC")
+        assert shuffle_preserving_kmers(s, rng, k=2) == s
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            shuffle_preserving_kmers(Sequence.from_string("ACGT"), rng, k=0)
+
+    def test_name_is_marked(self, rng):
+        genome = markov_genome(1000, rng)
+        shuffled = shuffle_preserving_kmers(genome, rng)
+        assert "shuffled" in shuffled.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=10, max_size=300), st.integers(0, 1000))
+    def test_doublet_preservation_property(self, text, seed):
+        genome = Sequence.from_string(text)
+        rng = np.random.default_rng(seed)
+        shuffled = shuffle_preserving_kmers(genome, rng, k=2)
+        assert np.array_equal(
+            kmer_counts(genome, 2), kmer_counts(shuffled, 2)
+        )
+        assert shuffled.codes[0] == genome.codes[0]

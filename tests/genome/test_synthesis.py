@@ -1,0 +1,115 @@
+"""Unit tests for synthetic genome generation."""
+
+import numpy as np
+import pytest
+
+from repro.genome import (
+    DEFAULT_DINUCLEOTIDE_MODEL,
+    dinucleotide_counts,
+    markov_genome,
+    plant_repeats,
+    uniform_genome,
+)
+from repro.genome.synthesis import concatenate
+from repro.genome import Sequence
+
+
+class TestUniformGenome:
+    def test_length_and_alphabet(self, rng):
+        g = uniform_genome(5000, rng)
+        assert len(g) == 5000
+        assert g.codes.max() < 4
+
+    def test_gc_content_respected(self, rng):
+        g = uniform_genome(50000, rng, gc=0.6)
+        assert abs(g.gc_content() - 0.6) < 0.02
+
+    def test_gc_bounds(self, rng):
+        with pytest.raises(ValueError):
+            uniform_genome(10, rng, gc=1.5)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_genome(100, np.random.default_rng(1))
+        b = uniform_genome(100, np.random.default_rng(1))
+        assert a == b
+
+
+class TestMarkovGenome:
+    def test_length(self, rng):
+        assert len(markov_genome(1000, rng)) == 1000
+
+    def test_zero_length(self, rng):
+        assert len(markov_genome(0, rng)) == 0
+
+    def test_transition_statistics_follow_model(self, rng):
+        g = markov_genome(60000, rng)
+        counts = dinucleotide_counts(g)
+        observed = counts / counts.sum(axis=1, keepdims=True)
+        assert np.allclose(observed, DEFAULT_DINUCLEOTIDE_MODEL, atol=0.03)
+
+    def test_custom_matrix(self, rng):
+        matrix = np.full((4, 4), 0.25)
+        g = markov_genome(5000, rng, transition_matrix=matrix)
+        assert len(g) == 5000
+
+    def test_rejects_bad_matrix_shape(self, rng):
+        with pytest.raises(ValueError):
+            markov_genome(100, rng, transition_matrix=np.ones((3, 3)))
+
+    def test_rejects_non_stochastic_matrix(self, rng):
+        with pytest.raises(ValueError):
+            markov_genome(100, rng, transition_matrix=np.ones((4, 4)))
+
+
+class TestRepeats:
+    def test_repeats_increase_seed_multiplicity(self, rng):
+        base = markov_genome(20000, rng)
+        with_repeats = plant_repeats(
+            base, rng, count=20, repeat_length=300, family_size=2
+        )
+        assert len(with_repeats) == len(base)
+        # Repeat copies should create long duplicated substrings; compare
+        # 40-mer multiset sizes as a cheap proxy.
+        from repro.genome import kmer_counts
+
+        k = 8
+        base_counts = kmer_counts(base, k)
+        rep_counts = kmer_counts(with_repeats, k)
+        assert rep_counts.max() > base_counts.max()
+
+    def test_noop_on_zero_count(self, rng):
+        base = markov_genome(1000, rng)
+        assert plant_repeats(base, rng, count=0, repeat_length=100) is base
+
+    def test_input_not_modified(self, rng):
+        base = markov_genome(2000, rng)
+        snapshot = base.codes.copy()
+        plant_repeats(base, rng, count=5, repeat_length=100)
+        assert np.array_equal(base.codes, snapshot)
+
+
+class TestDinucleotideCounts:
+    def test_simple_counts(self):
+        counts = dinucleotide_counts(Sequence.from_string("AACG"))
+        assert counts[0, 0] == 1  # AA
+        assert counts[0, 1] == 1  # AC
+        assert counts[1, 2] == 1  # CG
+        assert counts.sum() == 3
+
+    def test_n_excluded(self):
+        counts = dinucleotide_counts(Sequence.from_string("ANA"))
+        assert counts.sum() == 0
+
+    def test_short_sequence(self):
+        assert dinucleotide_counts(Sequence.from_string("A")).sum() == 0
+
+
+class TestConcatenate:
+    def test_concatenate(self):
+        parts = [Sequence.from_string("AC"), Sequence.from_string("GT")]
+        joined = concatenate(parts, name="chr")
+        assert str(joined) == "ACGT"
+        assert joined.name == "chr"
+
+    def test_empty(self):
+        assert len(concatenate([], name="chr")) == 0

@@ -1,0 +1,105 @@
+"""BSW and GACT-X array model tests, calibrated against the paper."""
+
+import pytest
+
+from repro.core import TileTrace
+from repro.hw import (
+    BswArrayModel,
+    GactXArrayModel,
+    SystolicArrayConfig,
+)
+
+
+class TestBswCalibration:
+    def test_fpga_throughput_near_paper(self):
+        """Paper: 50 arrays x 32 PEs at 150 MHz deliver 6.25M tiles/s."""
+        config = SystolicArrayConfig(n_pe=32, clock_hz=150e6)
+        model = BswArrayModel(config=config, tile_size=320, band=32)
+        total = model.tiles_per_second() * 50
+        assert 5.0e6 < total < 7.5e6
+
+    def test_asic_throughput_near_paper(self):
+        """Paper: 64 arrays x 64 PEs at 1 GHz deliver 70M tiles/s."""
+        config = SystolicArrayConfig(n_pe=64, clock_hz=1e9)
+        model = BswArrayModel(config=config, tile_size=320, band=32)
+        total = model.tiles_per_second() * 64
+        assert 55e6 < total < 85e6
+
+    def test_cycles_grow_with_tile_size(self):
+        config = SystolicArrayConfig(n_pe=32, clock_hz=150e6)
+        small = BswArrayModel(config=config, tile_size=160, band=32)
+        large = BswArrayModel(config=config, tile_size=320, band=32)
+        assert large.tile_cycles() > small.tile_cycles()
+
+    def test_cycles_grow_with_band(self):
+        config = SystolicArrayConfig(n_pe=32, clock_hz=150e6)
+        narrow = BswArrayModel(config=config, tile_size=320, band=16)
+        wide = BswArrayModel(config=config, tile_size=320, band=64)
+        assert wide.tile_cycles() > narrow.tile_cycles()
+
+    def test_latency_inverse_of_throughput(self):
+        config = SystolicArrayConfig(n_pe=32, clock_hz=150e6)
+        model = BswArrayModel(config=config)
+        assert model.tile_latency_seconds() == pytest.approx(
+            1.0 / model.tiles_per_second()
+        )
+
+
+class TestGactXModel:
+    @pytest.fixture
+    def model(self):
+        return GactXArrayModel(
+            config=SystolicArrayConfig(n_pe=32, clock_hz=150e6)
+        )
+
+    def make_trace(self, rows=64, width=100):
+        return TileTrace(
+            rows=rows,
+            cells=rows * width,
+            row_windows=tuple((1, width) for _ in range(rows)),
+        )
+
+    def test_tile_cycles_positive(self, model):
+        assert model.tile_cycles(self.make_trace()) > 0
+
+    def test_empty_trace_costs_overhead_only(self, model):
+        trace = TileTrace(rows=0, cells=0, row_windows=())
+        assert model.tile_cycles(trace) == model.config.tile_overhead
+
+    def test_batch_cycles_additive(self, model):
+        traces = [self.make_trace(), self.make_trace(rows=32)]
+        assert model.batch_cycles(traces) == sum(
+            model.tile_cycles(t) for t in traces
+        )
+
+    def test_mean_throughput(self, model):
+        traces = [self.make_trace() for _ in range(10)]
+        tps = model.mean_tiles_per_second(traces)
+        assert tps > 0
+        assert model.mean_tiles_per_second([]) == 0.0
+
+    def test_pointer_bytes_four_bits_per_cell(self, model):
+        trace = self.make_trace(rows=10, width=100)
+        assert model.pointer_bytes(trace) == 10 * 100 // 2
+
+    def test_fits_in_sram(self, model):
+        small = self.make_trace(rows=8, width=8)
+        assert model.fits_in_sram(small)
+        huge = TileTrace(
+            rows=4096,
+            cells=4096 * 4096,
+            row_windows=tuple((1, 4096) for _ in range(4096)),
+        )
+        assert not model.fits_in_sram(huge)
+
+    def test_peak_pointer_bytes(self, model):
+        traces = [self.make_trace(rows=4), self.make_trace(rows=64)]
+        assert model.peak_pointer_bytes(traces) == model.pointer_bytes(
+            traces[1]
+        )
+        assert model.peak_pointer_bytes([]) == 0
+
+    def test_wider_windows_cost_more(self, model):
+        narrow = self.make_trace(width=50)
+        wide = self.make_trace(width=400)
+        assert model.tile_cycles(wide) > model.tile_cycles(narrow)

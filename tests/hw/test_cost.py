@@ -1,0 +1,98 @@
+"""Cost-model tests: Table V arithmetic on synthetic workloads."""
+
+import pytest
+
+from repro.core import TileTrace, Workload
+from repro.hw import CostModel
+
+
+def synthetic_workload(filter_tiles=10**6, extension_tiles=200):
+    traces = [
+        TileTrace(
+            rows=1920,
+            cells=1920 * 300,
+            row_windows=tuple((1, 300) for _ in range(1920)),
+        )
+        for _ in range(min(extension_tiles, 16))
+    ]
+    return Workload(
+        seed_hits=10**5,
+        filter_tiles=filter_tiles,
+        filter_cells=filter_tiles * 320 * 65,
+        extension_tiles=extension_tiles,
+        extension_cells=sum(t.cells for t in traces),
+        extension_tile_traces=traces,
+    )
+
+
+@pytest.fixture
+def model():
+    return CostModel.default()
+
+
+@pytest.fixture
+def workload():
+    return synthetic_workload()
+
+
+class TestRuntimes:
+    def test_iso_software_runtime_uses_parasail_rate(self, model, workload):
+        assert model.iso_software_runtime(workload) == pytest.approx(
+            workload.filter_tiles / 225e3
+        )
+
+    def test_fpga_much_faster_than_iso_software(self, model, workload):
+        iso = model.iso_software_runtime(workload)
+        fpga = model.fpga_runtime(workload).total
+        assert fpga < iso / 5
+
+    def test_asic_faster_than_fpga(self, model, workload):
+        assert (
+            model.asic_runtime(workload).total
+            < model.fpga_runtime(workload).total
+        )
+
+    def test_breakdown_totals(self, model, workload):
+        breakdown = model.fpga_runtime(workload)
+        assert breakdown.total == pytest.approx(
+            breakdown.seeding + breakdown.filtering + breakdown.extension
+        )
+
+    def test_asic_excludes_seeding(self, model, workload):
+        assert model.asic_runtime(workload).seeding == 0.0
+
+    def test_workload_without_traces_uses_dense_bound(self, model):
+        workload = synthetic_workload()
+        workload.extension_tile_traces = []
+        runtime = model.asic_runtime(workload)
+        assert runtime.extension > 0
+
+
+class TestImprovements:
+    def test_fpga_perf_per_dollar_in_paper_range(self, model, workload):
+        """Paper Table V: 19-24x performance/$ over iso-sensitive sw."""
+        improvement = model.fpga_perf_per_dollar_improvement(workload)
+        assert 8 < improvement < 60
+
+    def test_asic_perf_per_watt_in_paper_range(self, model, workload):
+        """Paper Table V: ~1,500x performance/W over iso-sensitive sw."""
+        improvement = model.asic_perf_per_watt_improvement(workload)
+        assert 400 < improvement < 6000
+
+    def test_speedup_vs_lastz(self, model, workload):
+        lastz_workload = Workload(
+            seed_hits=10**6,
+            filter_tiles=10**6,
+            filter_cells=10**6 * 1024,
+            extension_tiles=200,
+        )
+        speedup = model.speedup_vs_lastz(workload, lastz_workload)
+        assert speedup > 0
+
+    def test_improvement_scales_with_filter_dominance(self, model):
+        small = synthetic_workload(filter_tiles=10**4)
+        large = synthetic_workload(filter_tiles=10**8)
+        # with more filter work, the accelerator advantage saturates to
+        # the BSW-array speedup; both must remain large
+        assert model.fpga_perf_per_dollar_improvement(large) > 5
+        assert model.fpga_perf_per_dollar_improvement(small) > 0

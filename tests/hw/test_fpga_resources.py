@@ -1,0 +1,66 @@
+"""FPGA resource model tests."""
+
+import pytest
+
+from repro.hw import (
+    VU9P,
+    FpgaDevice,
+    filter_throughput,
+    fits,
+    max_bsw_arrays,
+    utilisation,
+)
+
+
+class TestFit:
+    def test_paper_mapping_fits_vu9p(self):
+        """Paper section V-C: 50 BSW + 2 GACT-X arrays of 32 PEs."""
+        assert fits(VU9P, 50, 2, n_pe=32)
+
+    def test_paper_mapping_is_maximal(self):
+        assert max_bsw_arrays(VU9P, gactx_arrays=2, n_pe=32) == 50
+
+    def test_more_arrays_do_not_fit(self):
+        assert not fits(VU9P, 60, 2, n_pe=32)
+
+    def test_fewer_pes_allow_more_arrays(self):
+        assert max_bsw_arrays(VU9P, gactx_arrays=2, n_pe=16) > 50
+
+    def test_smaller_device_fits_fewer(self):
+        half = FpgaDevice(
+            name="half",
+            luts=VU9P.luts // 2,
+            ffs=VU9P.ffs // 2,
+            bram_kb=VU9P.bram_kb // 2,
+        )
+        assert max_bsw_arrays(half) < 50
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(name="bad", luts=0, ffs=1, bram_kb=1)
+
+
+class TestUtilisation:
+    def test_fractions_in_range(self):
+        lut, ff, bram = utilisation(VU9P, 50, 2)
+        assert 0.8 < lut <= 1.0
+        assert 0 < ff <= 1.0
+        assert 0 < bram <= 1.0
+
+    def test_scales_linearly(self):
+        lut1, _, _ = utilisation(VU9P, 10, 0)
+        lut2, _, _ = utilisation(VU9P, 20, 0)
+        assert lut2 == pytest.approx(2 * lut1)
+
+
+class TestThroughput:
+    def test_vu9p_filter_throughput_near_paper(self):
+        arrays, tiles_per_sec = filter_throughput(VU9P)
+        assert arrays == 50
+        # paper: ~6.25M tiles/s
+        assert 5e6 < tiles_per_sec < 7.5e6
+
+    def test_throughput_grows_with_clock(self):
+        _, slow = filter_throughput(VU9P, clock_hz=100e6)
+        _, fast = filter_throughput(VU9P, clock_hz=200e6)
+        assert fast == pytest.approx(2 * slow)

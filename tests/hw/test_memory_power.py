@@ -1,0 +1,92 @@
+"""DRAM model and Table IV/VI power-model tests."""
+
+import pytest
+
+from repro.hw import (
+    CPU_POWER_W,
+    DramSystem,
+    FPGA_POWER_W,
+    asic_estimate,
+    asic_power_w,
+    bandwidth_bound_tiles_per_sec,
+    bsw_tile_bytes,
+    gactx_tile_bytes,
+)
+
+
+class TestDram:
+    def test_sustained_bandwidth(self):
+        dram = DramSystem()
+        assert dram.sustained_bandwidth == pytest.approx(
+            4 * 19.2e9 * 0.7
+        )
+
+    def test_power_scales_with_traffic(self):
+        dram = DramSystem()
+        idle = dram.power(0)
+        busy = dram.power(40e9)
+        assert busy > idle
+        # calibrated near the paper's 3.10 W at ~46 GB/s
+        assert dram.power(46e9) == pytest.approx(3.10, abs=0.2)
+
+    def test_bandwidth_bound(self):
+        dram = DramSystem()
+        rate = bandwidth_bound_tiles_per_sec(dram, 320)
+        assert rate == pytest.approx(dram.sustained_bandwidth / 320)
+
+    def test_bandwidth_bound_validation(self):
+        dram = DramSystem()
+        with pytest.raises(ValueError):
+            bandwidth_bound_tiles_per_sec(dram, 320, share=0)
+        with pytest.raises(ValueError):
+            bandwidth_bound_tiles_per_sec(dram, 0)
+
+
+class TestTileTraffic:
+    def test_bsw_tile_bytes(self):
+        # two 320-base sequences at 4 bits/base
+        assert bsw_tile_bytes(320) == 320
+
+    def test_gactx_includes_traceback(self):
+        assert gactx_tile_bytes(1920) > 2 * 1920 * 4 // 8
+
+
+class TestTableIV:
+    def test_default_matches_paper_totals(self):
+        est = asic_estimate()
+        assert est.area_mm2 == pytest.approx(35.92, abs=0.1)
+        assert est.power_w == pytest.approx(43.34, abs=1.0)
+
+    def test_component_breakdown(self):
+        est = asic_estimate()
+        by_name = {c.name: c for c in est.components}
+        assert by_name["BSW Logic"].area_mm2 == pytest.approx(16.6, abs=0.05)
+        assert by_name["GACT-X Logic"].power_w == pytest.approx(6.72, abs=0.05)
+        assert by_name["Traceback SRAM"].area_mm2 == pytest.approx(
+            15.12, abs=0.05
+        )
+
+    def test_scaling_with_arrays(self):
+        half = asic_estimate(bsw_arrays=32)
+        full = asic_estimate(bsw_arrays=64)
+        assert half.area_mm2 < full.area_mm2
+        assert half.power_w < full.power_w
+
+    def test_clock_scales_power_not_area(self):
+        slow = asic_estimate(clock_hz=0.5e9)
+        fast = asic_estimate(clock_hz=1e9)
+        assert slow.area_mm2 == pytest.approx(fast.area_mm2)
+        assert slow.power_w < fast.power_w
+
+    def test_table_rendering(self):
+        text = asic_estimate().table()
+        assert "BSW Logic" in text
+        assert "Total" in text
+
+
+class TestTableVI:
+    def test_platform_power_ordering(self):
+        """Paper Table VI: CPU 215 W > FPGA 65 W > ASIC 43 W."""
+        assert CPU_POWER_W == 215.0
+        assert FPGA_POWER_W == 65.0
+        assert asic_power_w() < FPGA_POWER_W < CPU_POWER_W

@@ -1,0 +1,115 @@
+"""Scheduler and DRAM-trace model tests."""
+
+import pytest
+
+from repro.hw import (
+    BURST_BYTES,
+    DramSystem,
+    ScheduleResult,
+    generate_trace,
+    provisioning_check,
+    saturation_sweep,
+    schedule_tiles,
+    summarise,
+    tile_accesses,
+)
+
+
+class TestScheduler:
+    def test_single_array_serialises(self):
+        result = schedule_tiles([10, 20, 30], n_arrays=1)
+        assert result.makespan_cycles == 60
+        assert result.utilisation == pytest.approx(1.0)
+
+    def test_parallel_arrays_shorten_makespan(self):
+        tiles = [100] * 8
+        one = schedule_tiles(tiles, n_arrays=1)
+        four = schedule_tiles(tiles, n_arrays=4)
+        assert four.makespan_cycles == one.makespan_cycles / 4
+
+    def test_imbalanced_tiles(self):
+        result = schedule_tiles([100, 1, 1, 1], n_arrays=2)
+        # greedy: array0 gets 100; array1 gets the three 1-cycle tiles
+        assert result.makespan_cycles == 100
+        assert sorted(result.per_array_busy) == [3, 100]
+
+    def test_dispatch_overhead_limits_scaling(self):
+        tiles = [10] * 100
+        free = schedule_tiles(tiles, n_arrays=50)
+        throttled = schedule_tiles(
+            tiles, n_arrays=50, dispatch_overhead=20
+        )
+        assert throttled.makespan_cycles > free.makespan_cycles
+        assert throttled.utilisation < free.utilisation
+
+    def test_throughput(self):
+        result = schedule_tiles([100] * 10, n_arrays=2)
+        assert result.throughput_tiles_per_sec(
+            1e6
+        ) == pytest.approx(10 * 1e6 / result.makespan_cycles)
+
+    def test_empty_stream(self):
+        result = schedule_tiles([], n_arrays=4)
+        assert result.makespan_cycles == 0
+        assert result.utilisation == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_tiles([1], n_arrays=0)
+        with pytest.raises(ValueError):
+            schedule_tiles([-1], n_arrays=1)
+
+    def test_saturation_sweep_monotone(self):
+        tiles = [50] * 64
+        rows = saturation_sweep(tiles, (1, 2, 4, 8))
+        makespans = [m for _, m, _ in rows]
+        assert makespans == sorted(makespans, reverse=True)
+
+
+class TestTrace:
+    def test_tile_accesses(self):
+        reads, writes = tile_accesses(320, with_traceback=False)
+        # 2 x 320 bases x 4 bits = 320 bytes = 5 bursts
+        assert reads == 5
+        assert writes == 0
+        reads, writes = tile_accesses(1920, with_traceback=True)
+        assert reads == (2 * 1920 * 4 // 8 + 63) // 64
+        assert writes == (2 * 1920 * 2 // 8 + 63) // 64
+
+    def test_generate_and_summarise(self):
+        accesses = list(
+            generate_trace([0, 100, 200], 320, with_traceback=False)
+        )
+        assert len(accesses) == 3 * 5
+        assert all(not a.is_write for a in accesses)
+        # addresses strictly increase burst by burst
+        addresses = [a.address for a in accesses]
+        assert addresses == sorted(addresses)
+        assert addresses[1] - addresses[0] == BURST_BYTES
+        summary = summarise(iter(accesses))
+        assert summary.reads == 15
+        assert summary.writes == 0
+        assert summary.bytes_total == 15 * BURST_BYTES
+
+    def test_traceback_writes_present(self):
+        accesses = list(generate_trace([0], 1920, with_traceback=True))
+        assert any(a.is_write for a in accesses)
+
+    def test_bandwidth(self):
+        accesses = list(generate_trace([0, 10], 320))
+        summary = summarise(iter(accesses))
+        bw = summary.bandwidth_bytes_per_sec(1e9)
+        assert bw > 0
+
+    def test_provisioning_check(self):
+        accesses = list(generate_trace(range(0, 1000, 5), 320))
+        summary = summarise(iter(accesses))
+        dram = DramSystem()
+        fraction, bound = provisioning_check(summary, dram, 1e9)
+        assert fraction > 0
+        assert bound == (fraction >= 1.0)
+
+    def test_empty_trace(self):
+        summary = summarise(iter([]))
+        assert summary.accesses == 0
+        assert summary.bandwidth_bytes_per_sec(1e9) == 0.0

@@ -1,0 +1,96 @@
+"""Whole-accelerator simulation tests."""
+
+import pytest
+
+from repro.core import TileTrace, Workload
+from repro.hw import (
+    AsicPlatform,
+    FpgaPlatform,
+    simulate,
+)
+
+
+def make_workload(filter_tiles=5000, extension_tiles=8, with_traces=True):
+    traces = []
+    if with_traces:
+        traces = [
+            TileTrace(
+                rows=512,
+                cells=512 * 200,
+                row_windows=tuple((1, 200) for _ in range(512)),
+            )
+            for _ in range(extension_tiles)
+        ]
+    return Workload(
+        seed_hits=10_000,
+        filter_tiles=filter_tiles,
+        filter_cells=filter_tiles * 320 * 65,
+        extension_tiles=extension_tiles,
+        extension_cells=sum(t.cells for t in traces),
+        extension_tile_traces=traces,
+    )
+
+
+class TestSimulate:
+    def test_fpga_report_structure(self):
+        report = simulate(make_workload(), FpgaPlatform())
+        assert report.filter.tiles == 5000
+        assert report.extension.tiles == 8
+        assert report.runtime_seconds > 0
+        assert 0 < report.filter.utilisation <= 1.0
+
+    def test_asic_faster_than_fpga(self):
+        workload = make_workload()
+        fpga = simulate(workload, FpgaPlatform())
+        asic = simulate(workload, AsicPlatform())
+        assert asic.runtime_seconds < fpga.runtime_seconds
+
+    def test_runtime_is_slower_engine(self):
+        report = simulate(make_workload(), FpgaPlatform())
+        assert report.runtime_seconds == max(
+            report.filter.makespan_seconds,
+            report.extension.makespan_seconds,
+        )
+
+    def test_bandwidth_accounting(self):
+        report = simulate(make_workload(), FpgaPlatform())
+        assert report.filter.bytes_moved == 5000 * 320
+        assert report.total_bandwidth_demand > 0
+        assert report.bandwidth_fraction == pytest.approx(
+            report.total_bandwidth_demand / report.sustained_bandwidth
+        )
+
+    def test_fpga_bandwidth_near_paper(self):
+        """Paper: BSW filtering streams ~2.1 GB/s on the FPGA."""
+        report = simulate(
+            make_workload(filter_tiles=50_000, extension_tiles=0,
+                          with_traces=False),
+            FpgaPlatform(),
+        )
+        assert 1.5e9 < report.filter.bandwidth_bytes_per_sec < 3e9
+
+    def test_long_streams_scaled(self):
+        small = simulate(
+            make_workload(filter_tiles=10_000), FpgaPlatform()
+        )
+        big = simulate(
+            make_workload(filter_tiles=1_000_000),
+            FpgaPlatform(),
+            max_filter_tiles_simulated=10_000,
+        )
+        assert big.filter.makespan_seconds == pytest.approx(
+            100 * small.filter.makespan_seconds, rel=0.01
+        )
+
+    def test_workload_without_traces_uses_dense_tiles(self):
+        report = simulate(
+            make_workload(with_traces=False), FpgaPlatform()
+        )
+        assert report.extension.makespan_seconds > 0
+
+    def test_empty_workload(self):
+        report = simulate(
+            Workload(), FpgaPlatform()
+        )
+        assert report.runtime_seconds == 0.0
+        assert not report.dram_bound

@@ -1,0 +1,62 @@
+"""Systolic array cycle-model tests."""
+
+import pytest
+
+from repro.hw import (
+    SystolicArrayConfig,
+    stripe_cycles,
+    stripes_of,
+    tile_cycles_from_windows,
+)
+
+
+@pytest.fixture
+def config():
+    return SystolicArrayConfig(n_pe=4, clock_hz=100e6, tile_overhead=0)
+
+
+class TestStripeCycles:
+    def test_width_plus_skew(self, config):
+        assert stripe_cycles(10, config) == 10 + 3
+
+    def test_zero_width(self, config):
+        assert stripe_cycles(0, config) == 0
+
+    def test_overhead_added(self):
+        config = SystolicArrayConfig(n_pe=4, stripe_overhead=5)
+        assert stripe_cycles(10, config) == 10 + 3 + 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(n_pe=0)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(clock_hz=0)
+
+
+class TestStripesOf:
+    def test_grouping(self):
+        windows = [(1, 5), (2, 6), (1, 8), (3, 9), (4, 10)]
+        stripes = stripes_of(windows, n_pe=4)
+        assert stripes[0] == (1, 9)  # union of first four rows
+        assert stripes[1] == (4, 10)
+
+    def test_single_stripe(self):
+        assert stripes_of([(2, 4), (3, 5)], n_pe=8) == [(2, 5)]
+
+
+class TestTileCycles:
+    def test_cycles_sum_over_stripes(self, config):
+        windows = [(1, 10)] * 8  # two stripes of width 10
+        assert tile_cycles_from_windows(windows, config) == 2 * (10 + 3)
+
+    def test_traceback_added(self, config):
+        windows = [(1, 10)] * 4
+        base = tile_cycles_from_windows(windows, config)
+        with_tb = tile_cycles_from_windows(
+            windows, config, traceback_steps=20
+        )
+        assert with_tb == base + 20
+
+    def test_tile_overhead(self):
+        config = SystolicArrayConfig(n_pe=4, tile_overhead=100)
+        assert tile_cycles_from_windows([(1, 4)], config) == 100 + 4 + 3

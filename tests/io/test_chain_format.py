@@ -1,0 +1,80 @@
+"""UCSC chain format tests."""
+
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.chain import build_chains
+from repro.io import chain_triples, chains_string
+
+
+def alignment(cigar_text, t_start=0, q_start=0, score=1000):
+    cigar = Cigar.parse(cigar_text)
+    return Alignment(
+        target_name="t",
+        query_name="q",
+        target_start=t_start,
+        target_end=t_start + cigar.target_span,
+        query_start=q_start,
+        query_end=q_start + cigar.query_span,
+        score=score,
+        cigar=cigar,
+    )
+
+
+class TestTriples:
+    def test_single_ungapped_block(self):
+        (chain,) = build_chains([alignment("50=")])
+        assert chain_triples(chain) == [(50, 0, 0)]
+
+    def test_gaps_within_block(self):
+        (chain,) = build_chains([alignment("20=3D30=2I10=")])
+        triples = chain_triples(chain)
+        assert triples == [(20, 3, 0), (30, 0, 2), (10, 0, 0)]
+
+    def test_inter_block_gaps(self):
+        blocks = [
+            alignment("20=", 0, 0, score=5000),
+            alignment("30=", 100, 50, score=5000),
+        ]
+        (chain,) = build_chains(blocks)
+        triples = chain_triples(chain)
+        assert triples == [(20, 80, 30), (30, 0, 0)]
+
+    def test_triples_account_for_spans(self):
+        (chain,) = build_chains([alignment("20=5D7=1I3=")])
+        triples = chain_triples(chain)
+        sizes = sum(size for size, _, _ in triples)
+        dts = sum(dt for _, dt, _ in triples)
+        dqs = sum(dq for _, _, dq in triples)
+        assert sizes + dts == chain.target_end - chain.target_start
+        assert sizes + dqs == chain.query_end - chain.query_start
+
+    def test_mismatches_stay_in_block(self):
+        (chain,) = build_chains([alignment("10=5X10=")])
+        assert chain_triples(chain) == [(25, 0, 0)]
+
+
+class TestWriter:
+    def test_header_fields(self):
+        chains = build_chains([alignment("40=", 10, 20, score=999)])
+        text = chains_string(chains, "chrT", 1000, "chrQ", 2000)
+        header = text.splitlines()[0].split()
+        assert header[0] == "chain"
+        assert header[2] == "chrT"
+        assert int(header[3]) == 1000
+        assert int(header[5]) == 10
+        assert int(header[6]) == 50
+        assert header[8] == "2000"
+
+    def test_multiple_chains_numbered(self):
+        chains = build_chains(
+            [alignment("40=", 0, 0), alignment("40=", 5000, 100000)]
+        )
+        text = chains_string(chains, "t", 10**6, "q", 10**6)
+        assert text.count("chain ") == 2
+
+    def test_last_line_single_number(self):
+        chains = build_chains([alignment("20=3D30=")])
+        text = chains_string(chains, "t", 100, "q", 100)
+        lines = [l for l in text.splitlines() if l and not l.startswith("chain")]
+        assert lines[-1].strip().isdigit()

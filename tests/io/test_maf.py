@@ -1,0 +1,115 @@
+"""MAF format tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.core import DarwinWGA
+from repro.genome import Sequence
+from repro.io import maf_string, read_maf, write_maf
+
+
+@pytest.fixture
+def pair(rng):
+    target = Sequence(rng.integers(0, 4, 400).astype(np.uint8), "chrT")
+    q_codes = rng.integers(0, 4, 400).astype(np.uint8)
+    q_codes[100:300] = target.codes[50:250]
+    return target, Sequence(q_codes, "chrQ")
+
+
+class TestRoundtrip:
+    def test_simple_roundtrip(self, pair):
+        target, query = pair
+        alignment = Alignment(
+            target_name="chrT",
+            query_name="chrQ",
+            target_start=50,
+            target_end=250,
+            query_start=100,
+            query_end=300,
+            score=12345,
+            cigar=Cigar.from_runs([("=", 200)]),
+        )
+        text = maf_string([alignment], target, query)
+        (parsed,) = read_maf(io.StringIO(text))
+        assert parsed.target_start == 50
+        assert parsed.query_start == 100
+        assert parsed.score == 12345
+        assert parsed.cigar == alignment.cigar
+
+    def test_gapped_roundtrip(self, rng):
+        target = Sequence.from_string("ACGTACGTAC", "t")
+        query = Sequence.from_string("ACGTCGTAC", "q")  # A deleted at 4
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=10,
+            query_start=0,
+            query_end=9,
+            score=10,
+            cigar=Cigar.parse("4=1D5="),
+        )
+        text = maf_string([alignment], target, query)
+        (parsed,) = read_maf(io.StringIO(text))
+        assert parsed.cigar == alignment.cigar
+
+    def test_file_roundtrip(self, pair, tmp_path):
+        target, query = pair
+        alignment = Alignment(
+            target_name="chrT",
+            query_name="chrQ",
+            target_start=50,
+            target_end=250,
+            query_start=100,
+            query_end=300,
+            score=1,
+            cigar=Cigar.from_runs([("=", 200)]),
+        )
+        path = tmp_path / "out.maf"
+        write_maf([alignment], target, query, path)
+        assert len(read_maf(path)) == 1
+
+    def test_pipeline_output_roundtrips(self, small_pair):
+        target = small_pair.target.genome
+        query = small_pair.query.genome
+        result = DarwinWGA().align(target, query)
+        text = maf_string(result.alignments, target, query)
+        parsed = read_maf(io.StringIO(text))
+        assert len(parsed) == len(result.alignments)
+        for original, recovered in zip(result.alignments, parsed):
+            assert recovered.cigar == original.cigar
+            assert recovered.strand == original.strand
+            recovered.verify(target, query)
+
+    def test_minus_strand_coordinates(self):
+        target = Sequence.from_string("ACGT", "t")
+        query = Sequence.from_string("ACGT", "q")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=4,
+            query_start=0,
+            query_end=4,
+            score=4,
+            cigar=Cigar.parse("4="),
+            strand=-1,
+        )
+        text = maf_string([alignment], target, query)
+        assert " - " in text
+        (parsed,) = read_maf(io.StringIO(text))
+        assert parsed.strand == -1
+
+
+class TestFormat:
+    def test_header_present(self, pair):
+        target, query = pair
+        assert maf_string([], target, query).startswith("##maf")
+
+    def test_both_gap_column_rejected(self):
+        bad = "##maf\na score=1\ns t 0 1 + 4 A-\ns q 0 1 + 4 A-\n\n"
+        with pytest.raises(ValueError):
+            read_maf(io.StringIO(bad))

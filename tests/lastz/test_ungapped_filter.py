@@ -1,0 +1,128 @@
+"""Ungapped filter stage tests."""
+
+import numpy as np
+import pytest
+
+from repro.align.matrices import lastz_default
+from repro.genome import Sequence
+from repro.lastz import UngappedFilterParams, ungapped_filter
+
+
+@pytest.fixture
+def scoring():
+    return lastz_default()
+
+
+class TestUngappedFilter:
+    def test_clean_segment_passes(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 2000).astype(np.uint8), "t")
+        q_codes = rng.integers(0, 4, 2000).astype(np.uint8)
+        q_codes[700:800] = target.codes[500:600]
+        query = Sequence(q_codes, "q")
+        result = ungapped_filter(
+            target,
+            query,
+            np.array([550]),
+            np.array([750]),
+            scoring,
+            UngappedFilterParams(threshold=3000),
+        )
+        assert len(result.anchors) == 1
+        assert result.anchors[0].filter_score >= 3000
+
+    def test_gapped_segment_fails_ungapped_filter(self, scoring, rng):
+        # the Darwin-WGA motivation: indel-dense homology under-scores
+        core = rng.integers(0, 4, 400).astype(np.uint8)
+        parts = []
+        for start in range(0, 400, 25):
+            parts.append(core[start : start + 25])
+            parts.append(rng.integers(0, 4, 1).astype(np.uint8))
+        q_core = np.concatenate(parts)
+        target = Sequence(
+            np.concatenate(
+                [rng.integers(0, 4, 600).astype(np.uint8), core,
+                 rng.integers(0, 4, 600).astype(np.uint8)]
+            ),
+            "t",
+        )
+        query = Sequence(
+            np.concatenate(
+                [rng.integers(0, 4, 600).astype(np.uint8), q_core,
+                 rng.integers(0, 4, 600).astype(np.uint8)]
+            ),
+            "q",
+        )
+        result = ungapped_filter(
+            target,
+            query,
+            np.array([610]),
+            np.array([610]),
+            scoring,
+            UngappedFilterParams(threshold=3000),
+        )
+        assert result.anchors == []
+
+    def test_duplicate_hits_on_hsp_merged(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 3000).astype(np.uint8), "t")
+        q_codes = rng.integers(0, 4, 3000).astype(np.uint8)
+        q_codes[1000:1200] = target.codes[1000:1200]
+        query = Sequence(q_codes, "q")
+        hits_t = np.array([1010, 1050, 1100, 1150])
+        hits_q = hits_t.copy()
+        result = ungapped_filter(
+            target, query, hits_t, hits_q, scoring,
+            UngappedFilterParams(threshold=3000),
+        )
+        assert len(result.anchors) == 1
+        assert result.hits == 4
+
+    def test_different_diagonals_kept(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 3000).astype(np.uint8), "t")
+        q_codes = rng.integers(0, 4, 3000).astype(np.uint8)
+        q_codes[500:600] = target.codes[500:600]
+        q_codes[2000:2100] = target.codes[900:1000]
+        query = Sequence(q_codes, "q")
+        result = ungapped_filter(
+            target,
+            query,
+            np.array([550, 950]),
+            np.array([550, 2050]),
+            scoring,
+            UngappedFilterParams(threshold=3000),
+        )
+        assert len(result.anchors) == 2
+
+    def test_empty_input(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 100).astype(np.uint8))
+        result = ungapped_filter(
+            target,
+            target,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            scoring,
+            UngappedFilterParams(),
+        )
+        assert result.anchors == []
+        assert result.hits == 0
+
+    def test_cells_accounted(self, scoring, rng):
+        target = Sequence(rng.integers(0, 4, 1000).astype(np.uint8))
+        params = UngappedFilterParams(max_extension=128)
+        result = ungapped_filter(
+            target,
+            target,
+            np.array([500]),
+            np.array([500]),
+            scoring,
+            params,
+        )
+        # a self-hit extends the full budget in both directions, plus the
+        # fixed X-drop overshoot
+        assert result.cells >= 2 * 128
+        assert result.cells <= 2 * 128 + 64
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            UngappedFilterParams(xdrop=-1)
+        with pytest.raises(ValueError):
+            UngappedFilterParams(max_extension=0)

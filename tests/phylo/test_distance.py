@@ -1,0 +1,137 @@
+"""Phylogenetic distance estimator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.align import Alignment, Cigar
+from repro.core import DarwinWGA
+from repro.genome import (
+    Sequence,
+    k80_difference_probabilities,
+    make_species_pair,
+)
+from repro.phylo import (
+    count_sites,
+    estimate_distance,
+    jc69_distance,
+    k80_distance,
+    k80_kappa,
+)
+
+
+class TestCorrections:
+    def test_jc69_zero(self):
+        assert jc69_distance(0.0) == 0.0
+
+    def test_jc69_saturation(self):
+        assert jc69_distance(0.75) == math.inf
+
+    def test_jc69_inverts_expected_fraction(self):
+        # p = 3/4 (1 - e^{-4d/3}) -> jc69(p) == d
+        for d in (0.1, 0.5, 1.0):
+            p = 0.75 * (1 - math.exp(-4 * d / 3))
+            assert jc69_distance(p) == pytest.approx(d)
+
+    def test_k80_inverts_model_probabilities(self):
+        for d in (0.1, 0.4, 1.2):
+            for kappa in (1.0, 2.0, 5.0):
+                p, q = k80_difference_probabilities(d, kappa)
+                assert k80_distance(p, q) == pytest.approx(d, rel=1e-6)
+
+    def test_k80_kappa_recovered(self):
+        p, q = k80_difference_probabilities(0.5, 3.0)
+        assert k80_kappa(p, q) == pytest.approx(3.0, rel=1e-6)
+
+    def test_k80_saturation(self):
+        assert k80_distance(0.5, 0.0) == math.inf
+
+    def test_jc69_validation(self):
+        with pytest.raises(ValueError):
+            jc69_distance(-0.1)
+
+
+class TestCountSites:
+    def test_classification(self):
+        target = Sequence.from_string("ACGT", name="t")
+        query = Sequence.from_string("GCTT", name="q")
+        # A-G transition, C-C match, G-T transversion, T-T match
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=4,
+            query_start=0,
+            query_end=4,
+            score=0,
+            cigar=Cigar.parse("1X1=1X1="),
+        )
+        counts = count_sites(target, query, [alignment])
+        assert counts.pairs == 4
+        assert counts.transitions == 1
+        assert counts.transversions == 1
+
+    def test_n_sites_skipped(self):
+        target = Sequence.from_string("AN", name="t")
+        query = Sequence.from_string("AC", name="q")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=2,
+            query_start=0,
+            query_end=2,
+            score=0,
+            cigar=Cigar.parse("1=1X"),
+        )
+        counts = count_sites(target, query, [alignment])
+        assert counts.pairs == 1
+
+    def test_gaps_not_counted(self):
+        target = Sequence.from_string("AAAA", name="t")
+        query = Sequence.from_string("AA", name="q")
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=4,
+            query_start=0,
+            query_end=2,
+            score=0,
+            cigar=Cigar.parse("2=2D"),
+        )
+        counts = count_sites(target, query, [alignment])
+        assert counts.pairs == 2
+
+
+class TestClosedLoop:
+    def test_recovers_planted_distance(self):
+        """The paper's Figure 8 distances, end to end: simulate at a known
+        distance, align, estimate — the K80 estimator must recover it."""
+        rng = np.random.default_rng(11)
+        for planted in (0.2, 0.5):
+            pair = make_species_pair(
+                20000, planted, rng, indel_per_substitution=0.02
+            )
+            result = DarwinWGA().align(
+                pair.target.genome, pair.query.genome
+            )
+            estimate = estimate_distance(
+                pair.target.genome, pair.query.genome, result.alignments
+            )
+            assert estimate == pytest.approx(planted, rel=0.25)
+
+    def test_unknown_model_rejected(self, rng):
+        pair = make_species_pair(3000, 0.2, rng)
+        with pytest.raises(ValueError):
+            estimate_distance(
+                pair.target.genome, pair.query.genome, [], model="hky"
+            )
+
+    def test_no_alignments_is_infinite(self, rng):
+        pair = make_species_pair(2000, 0.2, rng)
+        assert (
+            estimate_distance(pair.target.genome, pair.query.genome, [])
+            == math.inf
+        )

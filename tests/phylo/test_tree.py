@@ -1,0 +1,84 @@
+"""Neighbour-joining tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import TreeNode, neighbour_joining, tree_distance
+
+
+class TestNeighbourJoining:
+    def test_recovers_additive_distances(self):
+        # A perfectly additive 4-leaf tree: NJ must recover every
+        # pairwise path length exactly.
+        names = ["A", "B", "C", "D"]
+        #    A --1--+          +--2-- C
+        #           +--- 3 ----+
+        #    B --2--+          +--4-- D
+        matrix = np.array(
+            [
+                [0, 3, 6, 8],
+                [3, 0, 7, 9],
+                [6, 7, 0, 6],
+                [8, 9, 6, 0],
+            ],
+            dtype=float,
+        )
+        tree = neighbour_joining(names, matrix)
+        for i, a in enumerate(names):
+            for j, b in enumerate(names):
+                if i < j:
+                    assert tree_distance(tree, a, b) == pytest.approx(
+                        matrix[i, j]
+                    )
+
+    def test_leaves_preserved(self):
+        names = ["w", "x", "y", "z", "v"]
+        rng = np.random.default_rng(4)
+        points = rng.random((5, 3))
+        matrix = np.linalg.norm(
+            points[:, None, :] - points[None, :, :], axis=2
+        )
+        tree = neighbour_joining(names, matrix)
+        assert sorted(tree.leaves()) == sorted(names)
+
+    def test_two_leaves(self):
+        tree = neighbour_joining(["a", "b"], np.array([[0, 4], [4, 0]], float))
+        assert tree_distance(tree, "a", "b") == pytest.approx(4)
+
+    def test_newick_rendering(self):
+        tree = neighbour_joining(
+            ["a", "b", "c"],
+            np.array([[0, 2, 4], [2, 0, 4], [4, 4, 0]], float),
+        )
+        text = tree.newick()
+        assert text.endswith(";")
+        for name in ("a", "b", "c"):
+            assert name in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbour_joining(["a", "b"], np.zeros((3, 3)))
+        asym = np.array([[0, 1], [2, 0]], float)
+        with pytest.raises(ValueError):
+            neighbour_joining(["a", "b"], asym)
+
+    def test_missing_leaf_raises(self):
+        tree = neighbour_joining(
+            ["a", "b"], np.array([[0, 1], [1, 0]], float)
+        )
+        with pytest.raises(KeyError):
+            tree_distance(tree, "a", "zzz")
+
+
+class TestTreeNode:
+    def test_leaf_properties(self):
+        leaf = TreeNode(name="x")
+        assert leaf.is_leaf
+        assert leaf.leaves() == ["x"]
+        assert leaf.leaf_distances() == {"x": 0.0}
+
+    def test_internal_distances(self):
+        left = TreeNode(name="a")
+        right = TreeNode(name="b")
+        root = TreeNode(name="r", children=[(left, 1.5), (right, 2.5)])
+        assert root.leaf_distances() == {"a": 1.5, "b": 2.5}

@@ -1,0 +1,99 @@
+"""Naive O(n*m) dynamic-programming references used as test oracles.
+
+These are deliberately slow, loop-based implementations written straight
+from the recurrences (paper equations 1-3), independent of the vectorised
+kernels in :mod:`repro.align`.
+"""
+
+NEG = -(10**12)
+
+
+def _matrices(target, query, scoring, local):
+    t, q = target.codes, query.codes
+    m, n = len(t), len(q)
+    o, e = scoring.gap_open, scoring.gap_extend
+    v = [[0] * (m + 1) for _ in range(n + 1)]
+    h = [[NEG] * (m + 1) for _ in range(n + 1)]
+    u = [[NEG] * (m + 1) for _ in range(n + 1)]
+    if not local:
+        for j in range(1, m + 1):
+            v[0][j] = -(o + (j - 1) * e)
+        for i in range(1, n + 1):
+            v[i][0] = -(o + (i - 1) * e)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            h[i][j] = max(v[i][j - 1] - o, h[i][j - 1] - e)
+            u[i][j] = max(v[i - 1][j] - o, u[i - 1][j] - e)
+            v[i][j] = max(
+                h[i][j],
+                u[i][j],
+                v[i - 1][j - 1] + scoring.score(t[j - 1], q[i - 1]),
+            )
+            if local:
+                v[i][j] = max(v[i][j], 0)
+    return v
+
+
+def local_score(target, query, scoring):
+    """Best Smith-Waterman local score."""
+    v = _matrices(target, query, scoring, local=True)
+    return max(max(row) for row in v)
+
+
+def global_score(target, query, scoring):
+    """Needleman-Wunsch global score."""
+    if len(target) == 0 or len(query) == 0:
+        length = max(len(target), len(query))
+        return -scoring.gap_cost(length)
+    v = _matrices(target, query, scoring, local=False)
+    return v[len(query)][len(target)]
+
+
+def extension_score(target, query, scoring):
+    """Best NW-boundary extension score over all cells (>= 0)."""
+    if len(target) == 0 or len(query) == 0:
+        return 0
+    v = _matrices(target, query, scoring, local=False)
+    return max(0, max(max(row) for row in v))
+
+
+def banded_local_score(target, query, scoring, band):
+    """Best local score restricted to |i - j| <= band."""
+    t, q = target.codes, query.codes
+    m, n = len(t), len(q)
+    o, e = scoring.gap_open, scoring.gap_extend
+    v = [[0] * (m + 1) for _ in range(n + 1)]
+    h = [[NEG] * (m + 1) for _ in range(n + 1)]
+    u = [[NEG] * (m + 1) for _ in range(n + 1)]
+    best = 0
+    for i in range(1, n + 1):
+        for j in range(max(1, i - band), min(m, i + band) + 1):
+            h[i][j] = max(v[i][j - 1] - o, h[i][j - 1] - e)
+            u[i][j] = max(v[i - 1][j] - o, u[i - 1][j] - e)
+            v[i][j] = max(
+                0,
+                h[i][j],
+                u[i][j],
+                v[i - 1][j - 1] + scoring.score(t[j - 1], q[i - 1]),
+            )
+            best = max(best, v[i][j])
+    return best
+
+
+def cigar_score(cigar, target, query, scoring, t_start=0, q_start=0):
+    """Score an alignment path directly from its CIGAR."""
+    ti, qi = t_start, q_start
+    total = 0
+    for op, length in cigar:
+        if op in ("=", "X"):
+            for _ in range(length):
+                total += scoring.score(target.codes[ti], query.codes[qi])
+                ti += 1
+                qi += 1
+        elif op == "D":
+            total -= scoring.gap_cost(length)
+            ti += length
+        else:
+            total -= scoring.gap_cost(length)
+            qi += length
+    return total

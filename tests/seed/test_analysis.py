@@ -1,0 +1,133 @@
+"""Seed sensitivity analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.seed import SpacedSeed
+from repro.seed.analysis import (
+    compare_patterns,
+    expected_random_hits,
+    hit_probability,
+    monte_carlo_sensitivity,
+)
+
+
+class TestHitProbability:
+    def test_perfect_identity_always_hits(self):
+        seed = SpacedSeed(pattern="1011", transitions=False)
+        assert hit_probability(seed, 20, 1.0) == 1.0
+
+    def test_zero_identity_never_hits(self):
+        seed = SpacedSeed(pattern="111", transitions=False)
+        assert hit_probability(seed, 20, 0.0) == 0.0
+
+    def test_short_region_cannot_hit(self):
+        seed = SpacedSeed(pattern="10101", transitions=False)
+        assert hit_probability(seed, 4, 0.9) == 0.0
+
+    def test_single_window_closed_form(self):
+        # length == span: P(hit) = identity^weight exactly
+        seed = SpacedSeed(pattern="1101", transitions=False)
+        for identity in (0.5, 0.8, 0.95):
+            assert hit_probability(seed, 4, identity) == pytest.approx(
+                identity**3
+            )
+
+    def test_monotone_in_identity(self):
+        seed = SpacedSeed(pattern="110101", transitions=False)
+        values = [
+            hit_probability(seed, 40, p) for p in (0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values)
+
+    def test_monotone_in_length(self):
+        seed = SpacedSeed(pattern="110101", transitions=False)
+        values = [
+            hit_probability(seed, n, 0.75) for n in (10, 30, 90)
+        ]
+        assert values == sorted(values)
+
+    def test_long_span_rejected(self):
+        with pytest.raises(ValueError):
+            hit_probability(SpacedSeed(), 100, 0.8)
+
+    def test_identity_validated(self):
+        seed = SpacedSeed(pattern="111", transitions=False)
+        with pytest.raises(ValueError):
+            hit_probability(seed, 10, 1.5)
+
+    def test_matches_monte_carlo(self, rng):
+        # cross-check the exact DP against brute-force simulation
+        seed = SpacedSeed(pattern="11011", transitions=False)
+        length, identity = 30, 0.8
+        exact = hit_probability(seed, length, identity)
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            matches = rng.random(length) < identity
+            windows = np.lib.stride_tricks.sliding_window_view(
+                matches, seed.span
+            )[:, list(seed.match_offsets)]
+            if windows.all(axis=1).any():
+                hits += 1
+        assert hits / trials == pytest.approx(exact, abs=0.05)
+
+
+class TestSpacedBeatsContiguous:
+    def test_classic_result(self):
+        """Equal-weight spaced seeds are more sensitive than contiguous
+        seeds — the reason for 12of19 over a 12-mer."""
+        contiguous = "111111"
+        spaced = "1101000110011"[:9]  # weight-6 spaced pattern "110100011"
+        results = dict(
+            compare_patterns([contiguous, "110100011"], 64, 0.7)
+        )
+        assert results["110100011"] > results[contiguous]
+
+    def test_compare_sorted(self):
+        results = compare_patterns(["111", "11011"], 30, 0.8)
+        probs = [p for _, p in results]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestMonteCarlo:
+    def test_transition_tolerance_helps(self, rng):
+        base = SpacedSeed(pattern="111010011", transitions=False)
+        tolerant = SpacedSeed(pattern="111010011", transitions=True)
+        strict = monte_carlo_sensitivity(base, 50, 0.5, rng, trials=400)
+        loose = monte_carlo_sensitivity(
+            tolerant, 50, 0.5, rng, trials=400
+        )
+        assert loose >= strict
+
+    def test_sensitivity_falls_with_distance(self, rng):
+        seed = SpacedSeed()
+        near = monte_carlo_sensitivity(seed, 60, 0.1, rng, trials=300)
+        far = monte_carlo_sensitivity(seed, 60, 1.0, rng, trials=300)
+        assert near > far
+
+    def test_empty_region(self, rng):
+        assert monte_carlo_sensitivity(SpacedSeed(), 5, 0.5, rng) == 0.0
+
+
+class TestRandomHits:
+    def test_expected_noise_scales_with_area(self):
+        seed = SpacedSeed(transitions=False)
+        small = expected_random_hits(seed, 10**4, 10**4)
+        large = expected_random_hits(seed, 10**5, 10**5)
+        assert large == pytest.approx(100 * small)
+
+    def test_transitions_multiply_noise(self):
+        strict = expected_random_hits(
+            SpacedSeed(transitions=False), 10**5, 10**5
+        )
+        loose = expected_random_hits(
+            SpacedSeed(transitions=True), 10**5, 10**5
+        )
+        assert loose == pytest.approx(13 * strict)
+
+    def test_magnitude(self):
+        # 12 match positions: 4^-12 per pair
+        seed = SpacedSeed(transitions=False)
+        expected = expected_random_hits(seed, 10**5, 10**5)
+        assert expected == pytest.approx(10**10 * 4.0**-12)

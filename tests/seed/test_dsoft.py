@@ -1,0 +1,144 @@
+"""D-SOFT seeding tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome import Sequence
+from repro.seed import (
+    DsoftParams,
+    SeedIndex,
+    SpacedSeed,
+    all_seed_hits,
+    dsoft_seed,
+    query_seed_words,
+)
+
+
+@pytest.fixture
+def seed():
+    return SpacedSeed(pattern="11011", transitions=False)
+
+
+@pytest.fixture
+def transition_seed():
+    return SpacedSeed(pattern="11011", transitions=True)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DsoftParams(chunk_size=0)
+        with pytest.raises(ValueError):
+            DsoftParams(bin_size=-1)
+        with pytest.raises(ValueError):
+            DsoftParams(threshold=0)
+
+
+class TestQueryWords:
+    def test_exact_only(self, seed, rng):
+        query = Sequence(rng.integers(0, 4, 60).astype(np.uint8))
+        words, positions = query_seed_words(query, seed)
+        assert words.size == positions.size == 60 - seed.span + 1
+
+    def test_transitions_multiply_lookups(self, transition_seed, rng):
+        query = Sequence(rng.integers(0, 4, 60).astype(np.uint8))
+        words, positions = query_seed_words(query, transition_seed)
+        base = 60 - transition_seed.span + 1
+        # m + 1 lookups per position (paper section III-B)
+        assert words.size == base * (transition_seed.weight + 1)
+
+    def test_transition_hit_found(self, transition_seed):
+        # Target differs from query by a single transition (A->G) at a
+        # match position; only the transition-tolerant seed finds it.
+        target = Sequence.from_string("GGGGG" + "TTTTTTT")
+        query = Sequence.from_string("GGGGA" + "TTTTTTT")
+        index = SeedIndex.build(target, transition_seed)
+        result = all_seed_hits(index, query)
+        assert (0, 0) in set(
+            zip(
+                result.target_positions.tolist(),
+                result.query_positions.tolist(),
+            )
+        )
+        exact = SpacedSeed(pattern="11011", transitions=False)
+        index_exact = SeedIndex.build(target, exact)
+        result_exact = all_seed_hits(index_exact, query)
+        assert (0, 0) not in set(
+            zip(
+                result_exact.target_positions.tolist(),
+                result_exact.query_positions.tolist(),
+            )
+        )
+
+
+class TestDsoft:
+    def test_one_candidate_per_band(self, seed):
+        # A long shared run generates many hits on one diagonal; D-SOFT
+        # must collapse them to roughly one candidate per chunk.
+        shared = "ACGTTGCAACGTTGCA" * 8
+        target = Sequence.from_string(shared)
+        query = Sequence.from_string(shared)
+        index = SeedIndex.build(target, seed)
+        params = DsoftParams(chunk_size=64, bin_size=64, threshold=1)
+        result = dsoft_seed(index, query, params)
+        assert result.raw_hit_count > result.candidate_count
+        assert result.candidate_count <= (len(shared) // 64 + 1) * 4
+
+    def test_threshold_filters_sparse_bands(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 2000).astype(np.uint8))
+        query = Sequence(rng.integers(0, 4, 2000).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        low = dsoft_seed(index, query, DsoftParams(threshold=1))
+        high = dsoft_seed(index, query, DsoftParams(threshold=3))
+        assert high.candidate_count <= low.candidate_count
+
+    def test_empty_query(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 100).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        result = dsoft_seed(
+            index, Sequence.from_string(""), DsoftParams()
+        )
+        assert result.candidate_count == 0
+        assert result.raw_hit_count == 0
+
+    def test_candidates_are_real_hits(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 1500).astype(np.uint8))
+        query = Sequence(target.codes.copy())
+        index = SeedIndex.build(target, seed)
+        result = dsoft_seed(index, query, DsoftParams())
+        offs = seed.match_offsets
+        for tp, qp in zip(
+            result.target_positions.tolist(),
+            result.query_positions.tolist(),
+        ):
+            for o in offs:
+                assert target.codes[tp + o] == query.codes[qp + o]
+
+
+class TestAllHits:
+    def test_all_hits_superset_of_dsoft_candidates(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 800).astype(np.uint8))
+        query = Sequence(rng.integers(0, 4, 800).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        every = all_seed_hits(index, query)
+        banded = dsoft_seed(index, query, DsoftParams())
+        all_set = set(
+            zip(
+                every.target_positions.tolist(),
+                every.query_positions.tolist(),
+            )
+        )
+        for hit in zip(
+            banded.target_positions.tolist(),
+            banded.query_positions.tolist(),
+        ):
+            assert hit in all_set
+
+    def test_seed_limit_drops_frequent_words(self, seed):
+        target = Sequence.from_string("A" * 200)
+        query = Sequence.from_string("A" * 50)
+        index = SeedIndex.build(target, seed)
+        unlimited = all_seed_hits(index, query)
+        limited = all_seed_hits(index, query, seed_limit=10)
+        assert limited.raw_hit_count == 0
+        assert unlimited.raw_hit_count > 1000

@@ -1,0 +1,82 @@
+"""Seed index tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome import Sequence
+from repro.seed import SeedIndex, SpacedSeed
+
+
+@pytest.fixture
+def seed():
+    return SpacedSeed(pattern="1011", transitions=False)
+
+
+def brute_force_hits(target, query, seed):
+    """Enumerate seed hits by direct string comparison."""
+    hits = set()
+    t, q = str(target), str(query)
+    offs = seed.match_offsets
+    for qp in range(len(q) - seed.span + 1):
+        if any(q[qp + o] == "N" for o in offs):
+            continue
+        for tp in range(len(t) - seed.span + 1):
+            if any(t[tp + o] == "N" for o in offs):
+                continue
+            if all(t[tp + o] == q[qp + o] for o in offs):
+                hits.add((tp, qp))
+    return hits
+
+
+class TestBuild:
+    def test_indexes_every_valid_position(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 200).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        assert index.size == len(target) - seed.span + 1
+
+    def test_n_positions_skipped(self, seed):
+        target = Sequence.from_string("ACGTNACGTA")
+        index = SeedIndex.build(target, seed)
+        words, valid = seed.words(target)
+        assert index.size == int(valid.sum())
+
+    def test_word_frequency(self, seed):
+        target = Sequence.from_string("AAAAAAAA")
+        index = SeedIndex.build(target, seed)
+        word = seed.word_of("AAAA")
+        assert index.word_frequency(word) == 5
+        assert index.word_frequency(word + 1) == 0
+
+
+class TestLookup:
+    def test_matches_brute_force(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 120).astype(np.uint8), "t")
+        query = Sequence(rng.integers(0, 4, 80).astype(np.uint8), "q")
+        index = SeedIndex.build(target, seed)
+        words, valid = seed.words(query)
+        positions = np.flatnonzero(valid)
+        t_hits, q_hits = index.lookup_batch(words[positions], positions)
+        got = set(zip(t_hits.tolist(), q_hits.tolist()))
+        assert got == brute_force_hits(target, query, seed)
+
+    def test_empty_lookup(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 50).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        t_hits, q_hits = index.lookup_batch(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert t_hits.size == q_hits.size == 0
+
+    def test_mismatched_arrays_rejected(self, seed, rng):
+        target = Sequence(rng.integers(0, 4, 50).astype(np.uint8))
+        index = SeedIndex.build(target, seed)
+        with pytest.raises(ValueError):
+            index.lookup_batch(
+                np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64)
+            )
+
+    def test_hit_counts_scale_with_repeats(self, seed):
+        target = Sequence.from_string("ACGTACGT" * 10)
+        index = SeedIndex.build(target, seed)
+        word = seed.word_of("ACGT"[:4])
+        assert index.word_frequency(word) >= 9

@@ -1,0 +1,101 @@
+"""Spaced seed pattern tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome import Sequence
+from repro.seed import DEFAULT_PATTERN, SpacedSeed
+
+
+class TestPattern:
+    def test_default_is_12of19(self):
+        seed = SpacedSeed()
+        assert seed.span == 19
+        assert seed.weight == 12
+        assert DEFAULT_PATTERN.count("1") == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpacedSeed(pattern="")
+        with pytest.raises(ValueError):
+            SpacedSeed(pattern="102")
+        with pytest.raises(ValueError):
+            SpacedSeed(pattern="0110")
+
+    def test_match_offsets(self):
+        seed = SpacedSeed(pattern="101")
+        assert seed.match_offsets == (0, 2)
+        assert seed.word_bits == 4
+
+
+class TestWords:
+    def test_contiguous_seed_word(self):
+        seed = SpacedSeed(pattern="111")
+        # ACG -> A|C|G = 0 + 1<<2 + 2<<4 = 36
+        assert seed.word_of("ACG") == 0 + (1 << 2) + (2 << 4)
+
+    def test_dont_care_positions_ignored(self):
+        seed = SpacedSeed(pattern="101")
+        assert seed.word_of("AAG") == seed.word_of("ATG")
+        assert seed.word_of("AAG") != seed.word_of("CAG")
+
+    def test_words_array_matches_word_of(self):
+        seed = SpacedSeed(pattern="1101")
+        s = Sequence.from_string("ACGTACG")
+        words, valid = seed.words(s)
+        assert words.size == 4
+        assert valid.all()
+        for p in range(4):
+            assert words[p] == seed.word_of(str(s)[p : p + 4])
+
+    def test_n_invalidates_window(self):
+        seed = SpacedSeed(pattern="111")
+        words, valid = seed.words(Sequence.from_string("ACNGT"))
+        assert list(valid) == [False, False, False]
+
+    def test_n_at_dont_care_is_fine(self):
+        seed = SpacedSeed(pattern="101")
+        words, valid = seed.words(Sequence.from_string("ANG"))
+        assert valid[0]
+
+    def test_short_sequence(self):
+        seed = SpacedSeed()
+        words, valid = seed.words(Sequence.from_string("ACGT"))
+        assert words.size == 0
+
+
+class TestTransitions:
+    def test_neighbour_count(self):
+        seed = SpacedSeed(pattern="10101")
+        words = np.array([0], dtype=np.int64)
+        neighbours = seed.transition_neighbours(words)
+        assert len(neighbours) == seed.weight == 3
+
+    def test_neighbour_flips_one_transition(self):
+        seed = SpacedSeed(pattern="111", transitions=True)
+        word_acg = seed.word_of("ACG")
+        neighbours = [
+            int(n[0])
+            for n in seed.transition_neighbours(
+                np.array([word_acg], dtype=np.int64)
+            )
+        ]
+        # transition partners: A<->G, C<->T at each slot
+        assert seed.word_of("GCG") in neighbours
+        assert seed.word_of("ATG") in neighbours
+        assert seed.word_of("ACA") in neighbours
+        assert seed.word_of("TCG") not in neighbours  # transversion
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=19, max_size=19))
+    def test_transition_neighbourhood_symmetric(self, window):
+        seed = SpacedSeed()
+        word = seed.word_of(window)
+        words = np.array([word], dtype=np.int64)
+        for neighbour in seed.transition_neighbours(words):
+            back = seed.transition_neighbours(
+                np.array([int(neighbour[0])], dtype=np.int64)
+            )
+            assert word in {int(b[0]) for b in back}

@@ -1,0 +1,194 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def genomes(tmp_path):
+    code = main(
+        [
+            "generate",
+            "--length",
+            "6000",
+            "--distance",
+            "0.4",
+            "--seed",
+            "3",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    return tmp_path
+
+
+class TestGenerate:
+    def test_writes_fasta_and_bed(self, genomes):
+        assert (genomes / "target.fa").exists()
+        assert (genomes / "query.fa").exists()
+        assert (genomes / "target_exons.bed").exists()
+
+    def test_bed_has_exon_rows(self, genomes):
+        rows = (genomes / "target_exons.bed").read_text().splitlines()
+        assert len(rows) == 10
+        fields = rows[0].split("\t")
+        assert fields[0] == "target"
+        assert int(fields[2]) > int(fields[1])
+
+
+class TestAlign:
+    def test_darwin_align_writes_maf(self, genomes, capsys):
+        out = genomes / "out.maf"
+        code = main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "alignments" in captured.out
+
+    def test_lastz_align(self, genomes, capsys):
+        code = main(
+            [
+                "align",
+                "--aligner",
+                "lastz",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+            ]
+        )
+        assert code == 0
+        assert "alignments" in capsys.readouterr().out
+
+    def test_plus_only(self, genomes):
+        code = main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--plus-only",
+            ]
+        )
+        assert code == 0
+
+
+class TestChain:
+    def test_chain_from_maf(self, genomes, capsys):
+        maf = genomes / "out.maf"
+        main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--out",
+                str(maf),
+            ]
+        )
+        chain_out = genomes / "out.chain"
+        code = main(
+            [
+                "chain",
+                str(maf),
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--out",
+                str(chain_out),
+            ]
+        )
+        assert code == 0
+        assert chain_out.exists()
+        text = chain_out.read_text()
+        assert text.startswith("chain ")
+
+
+class TestModel:
+    def test_model_defaults(self, capsys):
+        code = main(["model"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "performance/$" in out
+        assert "performance/W" in out
+
+    def test_model_asic_table(self, capsys):
+        code = main(["model", "--asic-table"])
+        assert code == 0
+        assert "BSW Logic" in capsys.readouterr().out
+
+
+class TestMask:
+    def test_mask_writes_fasta(self, genomes, capsys):
+        out = genomes / "masked.fa"
+        code = main(
+            [
+                "mask",
+                str(genomes / "target.fa"),
+                "--out",
+                str(out),
+                "--method",
+                "frequency",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "masked" in capsys.readouterr().out
+
+
+class TestNet:
+    def test_net_from_maf(self, genomes, capsys):
+        maf = genomes / "net.maf"
+        main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--out",
+                str(maf),
+            ]
+        )
+        code = main(
+            [
+                "net",
+                str(maf),
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-level entries" in out
+
+
+class TestTblastx:
+    def test_translated_search(self, genomes, capsys):
+        code = main(
+            [
+                "tblastx",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--threshold",
+                "50",
+                "--max-hits",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "translated hits" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,200 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise invariants that hold regardless of input: DP kernel
+relationships, liftover consistency, chain accounting, tiling-path
+bookkeeping, and encoding round trips at the subsystem boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    Alignment,
+    Cigar,
+    best_score,
+    bsw_tile,
+    global_score,
+    unit,
+    xdrop_extend,
+)
+from repro.chain import LiftOver, build_chains, build_net
+from repro.core import truncate_cigar
+from repro.genome import Sequence
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+run_lists = st.lists(
+    st.tuples(st.sampled_from("=XID"), st.integers(1, 20)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def scoring():
+    return unit(match=5, mismatch=-4, gap_open=8, gap_extend=2)
+
+
+class TestKernelRelations:
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_local_dominates_global(self, t_text, q_text):
+        """A local alignment score is never below the global score."""
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        assert best_score(t, q, scoring()) >= global_score(t, q, scoring())
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna, st.integers(0, 10))
+    def test_banded_never_exceeds_full(self, t_text, q_text, band):
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        assert (
+            bsw_tile(t, q, scoring(), band).score
+            <= best_score(t, q, scoring())
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_xdrop_never_exceeds_local(self, t_text, q_text):
+        """Extension (anchored at the origin) cannot beat free local."""
+        t, q = Sequence.from_string(t_text), Sequence.from_string(q_text)
+        result = xdrop_extend(t, q, scoring(), ydrop=10**9)
+        assert result.score <= best_score(t, q, scoring())
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_self_extension_is_perfect(self, text):
+        s = Sequence.from_string(text)
+        result = xdrop_extend(s, s, scoring(), ydrop=10**9)
+        assert result.score == 5 * len(text)
+        assert str(result.cigar) == f"{len(text)}="
+
+
+class TestTruncateCigar:
+    @settings(max_examples=60, deadline=None)
+    @given(run_lists, st.integers(0, 50))
+    def test_truncation_respects_boundary(self, runs, boundary):
+        cigar = Cigar.from_runs(runs)
+        piece, i, j = truncate_cigar(cigar, boundary)
+        assert i <= boundary
+        assert j <= boundary
+        assert piece.query_span == i
+        assert piece.target_span == j
+
+    @settings(max_examples=40, deadline=None)
+    @given(run_lists)
+    def test_huge_boundary_is_identity(self, runs):
+        cigar = Cigar.from_runs(runs)
+        piece, i, j = truncate_cigar(cigar, 10**6)
+        assert piece == cigar
+        assert i == cigar.query_span
+        assert j == cigar.target_span
+
+    @settings(max_examples=40, deadline=None)
+    @given(run_lists, st.integers(0, 50))
+    def test_truncation_is_a_prefix(self, runs, boundary):
+        cigar = Cigar.from_runs(runs)
+        piece, _, _ = truncate_cigar(cigar, boundary)
+        # every truncated path is a prefix of the original op stream
+        full_ops = "".join(op * n for op, n in cigar)
+        piece_ops = "".join(op * n for op, n in piece)
+        assert full_ops.startswith(piece_ops)
+
+
+class TestLiftoverProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(run_lists)
+    def test_mapped_positions_are_strictly_increasing(self, runs):
+        cigar = Cigar.from_runs(runs)
+        if cigar.aligned_pairs == 0:
+            return
+        alignment = Alignment(
+            target_name="t",
+            query_name="q",
+            target_start=0,
+            target_end=cigar.target_span,
+            query_start=0,
+            query_end=cigar.query_span,
+            score=1000,
+            cigar=cigar,
+        )
+        chains = build_chains([alignment])
+        lift = LiftOver(chains[0])
+        images = [
+            lift.map_position(t)
+            for t in range(cigar.target_span)
+            if lift.map_position(t) is not None
+        ]
+        assert images == sorted(images)
+        assert len(images) == len(set(images))
+        assert len(images) == cigar.aligned_pairs
+
+
+class TestChainProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5000),
+                st.integers(0, 5000),
+                st.integers(10, 200),
+                st.integers(100, 10_000),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_every_block_appears_exactly_once(self, specs):
+        blocks = [
+            Alignment(
+                target_name="t",
+                query_name="q",
+                target_start=ts,
+                target_end=ts + ln,
+                query_start=qs,
+                query_end=qs + ln,
+                score=sc,
+                cigar=Cigar.from_runs([("=", ln)]),
+            )
+            for ts, qs, ln, sc in specs
+        ]
+        chains = build_chains(blocks)
+        used = [b for c in chains for b in c.blocks]
+        assert sorted(id(b) for b in used) == sorted(id(b) for b in blocks)
+        for chain in chains:
+            for a, b in zip(chain.blocks, chain.blocks[1:]):
+                assert a.target_end <= b.target_start
+                assert a.query_end <= b.query_start
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3000),
+                st.integers(10, 400),
+                st.integers(100, 50_000),
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_net_entries_never_overlap_per_level(self, specs):
+        blocks = [
+            Alignment(
+                target_name="t",
+                query_name="q",
+                target_start=ts,
+                target_end=ts + ln,
+                query_start=ts,
+                query_end=ts + ln,
+                score=sc,
+                cigar=Cigar.from_runs([("=", ln)]),
+            )
+            for ts, ln, sc in specs
+        ]
+        chains = build_chains(blocks)
+        net = build_net(chains, target_length=5000)
+        top = sorted(
+            ((e.target_start, e.target_end) for e in net.entries)
+        )
+        for (s1, e1), (s2, e2) in zip(top, top[1:]):
+            assert e1 <= s2
