@@ -7,7 +7,6 @@ reports raw hits, D-SOFT candidates, and final anchors with transitions
 on and off.
 """
 
-from dataclasses import replace
 
 import pytest
 

@@ -62,7 +62,7 @@ def _extra_runs():
     flip; the paper finds its Figure 9 example in a 137 Mbp genome.
     Scanning a handful of seeds plays the role of that extra scale.
     """
-    from .conftest import PAIR_MODEL, _run_pair
+    from .conftest import _run_pair
 
     for seed in range(60, 72):
         yield _run_pair(f"extra-{seed}", 1.32, seed)

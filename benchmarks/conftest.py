@@ -9,10 +9,18 @@ cache); the individual benchmarks derive their tables from those runs.
 Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow/shrink the
 synthetic genomes; shapes are stable across scales, absolute numbers grow
 with genome size.
+
+Every pair run is traced with :mod:`repro.obs`; after all pairs have
+run, an aggregate perf artifact with per-stage wall-clock and cells/s
+for both aligners is written to ``BENCH_PIPELINE.json`` at the repo
+root, giving later PRs a performance trajectory to compare against.
 """
 
+import json
 import os
-from dataclasses import dataclass
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,6 +29,12 @@ from repro.chain import build_chains
 from repro.core import DarwinWGA
 from repro.genome import make_species_pair
 from repro.lastz import LastzAligner
+from repro.obs import Tracer, run_report
+
+#: Aggregate perf artifact written after the pair runs complete.
+BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_PIPELINE.json"
+)
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
@@ -48,6 +62,9 @@ class PairRun:
     lastz: object
     darwin_chains: list
     lastz_chains: list
+    #: Structured run reports (repro.obs format), one per aligner.
+    darwin_trace: dict = field(default_factory=dict)
+    lastz_trace: dict = field(default_factory=dict)
 
 
 #: Mosaic-model parameters (see DESIGN.md): ~35% of the genome alignable
@@ -71,23 +88,83 @@ def _run_pair(name, distance, seed):
         **PAIR_MODEL,
     )
     target, query = pair.target.genome, pair.query.genome
-    darwin = DarwinWGA().align(target, query)
-    lastz = LastzAligner().align(target, query)
+    darwin_tracer = Tracer()
+    darwin = DarwinWGA(tracer=darwin_tracer).align(target, query)
+    lastz_tracer = Tracer()
+    lastz = LastzAligner(tracer=lastz_tracer).align(target, query)
+    darwin_chains = build_chains(
+        darwin.alignments, tracer=darwin_tracer
+    )
+    lastz_chains = build_chains(lastz.alignments, tracer=lastz_tracer)
+    meta = {"pair": name, "distance": distance}
     return PairRun(
         name=name,
         distance=distance,
         pair=pair,
         darwin=darwin,
         lastz=lastz,
-        darwin_chains=build_chains(darwin.alignments),
-        lastz_chains=build_chains(lastz.alignments),
+        darwin_chains=darwin_chains,
+        lastz_chains=lastz_chains,
+        darwin_trace=run_report(
+            darwin_tracer, result=darwin, meta=dict(meta, aligner="darwin")
+        ),
+        lastz_trace=run_report(
+            lastz_tracer, result=lastz, meta=dict(meta, aligner="lastz")
+        ),
     )
+
+
+def _stage_perf(trace):
+    """Wall-clock + work rates per stage from one run report."""
+    stages = {}
+    for stage_name, stage in trace["stages"].items():
+        stages[stage_name] = {
+            "calls": stage["count"],
+            "wall_seconds": stage["seconds"],
+            "counters": stage["counters"],
+            "rates": stage["rates"],
+        }
+    return stages
+
+
+def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
+    """Persist the aggregate perf artifact for all pair runs."""
+    artifact = {
+        "version": 1,
+        "scale": SCALE,
+        "genome_length": GENOME_LENGTH,
+        "python": platform.python_version(),
+        "pairs": {
+            run.name: {
+                "distance": run.distance,
+                "darwin": {
+                    "workload": run.darwin_trace.get("workload", {}),
+                    "funnel": run.darwin_trace.get("funnel", {}),
+                    "stages": _stage_perf(run.darwin_trace),
+                },
+                "lastz": {
+                    "workload": run.lastz_trace.get("workload", {}),
+                    "funnel": run.lastz_trace.get("funnel", {}),
+                    "stages": _stage_perf(run.lastz_trace),
+                },
+            }
+            for run in runs
+        },
+    }
+    Path(path).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    return artifact
 
 
 @pytest.fixture(scope="session")
 def pair_runs():
-    """Both aligners on all four species pairs (cached per session)."""
-    return [_run_pair(*spec) for spec in PAIR_SPECS]
+    """Both aligners on all four species pairs (cached per session).
+
+    As a side effect, writes the aggregate ``BENCH_PIPELINE.json`` perf
+    artifact (per-stage wall-clock and cells/s for every pair).
+    """
+    runs = [_run_pair(*spec) for spec in PAIR_SPECS]
+    write_bench_pipeline(runs)
+    return runs
 
 
 @pytest.fixture(scope="session")

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro import CostModel, DarwinWGA, make_species_pair
 from repro.hw import (
-    BswArrayModel,
     GactXArrayModel,
     asic_estimate,
     default_asic,

@@ -25,7 +25,7 @@ pointers (2 bits of direction, 2 bits of affine-gap origin).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ a gap of length ``L`` costs ``gap_open + (L - 1) * gap_extend``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,7 @@ is meant for tiles and tests, not genomes.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

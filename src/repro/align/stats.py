@@ -20,7 +20,6 @@ from typing import Sequence as TypingSequence
 
 import numpy as np
 
-from ..genome import alphabet
 from ..genome.sequence import Sequence
 from .scoring import ScoringScheme
 

@@ -186,7 +186,7 @@ def find_orthologous_exons(
     target: Sequence,
     exons: List[Interval],
     query: Sequence,
-    params: TblastxParams = None,
+    params: Optional[TblastxParams] = None,
 ) -> List[TblastxHit]:
     """Exons of ``target`` with a high-confidence translated hit in
     ``query`` — the paper's TBLASTX "Total" exon set."""

@@ -13,7 +13,7 @@ synonymous third-codon positions have saturated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -67,7 +67,7 @@ def _dna_interval(
 def translated_search(
     target: Sequence,
     query: Sequence,
-    params: TblastxParams = None,
+    params: Optional[TblastxParams] = None,
     max_hits: int = 200,
 ) -> List[TranslatedHit]:
     """Find protein-space homologies between two DNA sequences.

@@ -14,12 +14,13 @@ chain scores, matching base-pairs in all chains, and exon coverage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence as TypingSequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
 
 import numpy as np
 
 from ..align.alignment import Alignment
+from ..obs.tracer import NULL_TRACER
 from .gap_costs import GapCosts
 
 
@@ -128,22 +129,42 @@ def _chain_strand(
 
 def build_chains(
     alignments: TypingSequence[Alignment],
-    gap_costs: GapCosts = None,
+    gap_costs: Optional[GapCosts] = None,
     min_score: float = 0.0,
+    tracer=NULL_TRACER,
 ) -> List[Chain]:
     """Chain alignments into maximally scoring colinear sequences.
 
     Alignments are partitioned by (target, query, strand) and chained per
-    partition; the result is sorted by descending chain score.
+    partition; the result is sorted by descending chain score.  A
+    supplied tracer records one ``chain`` span with a
+    ``chain_partition`` child per (target, query, strand) partition.
     """
     if gap_costs is None:
         gap_costs = GapCosts.loose()
-    partitions: Dict[Tuple[str, str, int], List[Alignment]] = {}
-    for alignment in alignments:
-        key = (alignment.target_name, alignment.query_name, alignment.strand)
-        partitions.setdefault(key, []).append(alignment)
-    chains: List[Chain] = []
-    for blocks in partitions.values():
-        chains.extend(_chain_strand(blocks, gap_costs, min_score))
-    chains.sort(key=lambda chain: -chain.score)
-    return chains
+    with tracer.span("chain") as span:
+        partitions: Dict[Tuple[str, str, int], List[Alignment]] = {}
+        for alignment in alignments:
+            key = (
+                alignment.target_name,
+                alignment.query_name,
+                alignment.strand,
+            )
+            partitions.setdefault(key, []).append(alignment)
+        chains: List[Chain] = []
+        for key, blocks in partitions.items():
+            with tracer.span(
+                "chain_partition",
+                target=key[0],
+                query=key[1],
+                strand="+" if key[2] == 1 else "-",
+            ) as part_span:
+                part_chains = _chain_strand(blocks, gap_costs, min_score)
+                part_span.inc("blocks", len(blocks))
+                part_span.inc("chains", len(part_chains))
+            chains.extend(part_chains)
+        chains.sort(key=lambda chain: -chain.score)
+        span.inc("blocks", len(alignments))
+        span.inc("partitions", len(partitions))
+        span.inc("chains", len(chains))
+        return chains

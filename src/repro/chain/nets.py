@@ -10,7 +10,7 @@ browser's net tracks and the orthology calls of section II.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence as TypingSequence, Tuple
+from typing import List, Sequence as TypingSequence, Tuple
 
 from .chainer import Chain
 

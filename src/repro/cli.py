@@ -10,6 +10,11 @@ Subcommands mirror a typical WGA workflow::
 
 ``repro model`` runs the hardware cost model directly on a workload
 description and prints the Table V-style numbers.
+
+Observability: ``align`` and ``chain`` accept ``--trace-out PATH`` to
+record per-stage spans into a structured JSON run report, and ``repro
+trace PATH`` renders a saved report (``--chrome OUT`` converts it to a
+Chrome ``trace_event`` file for chrome://tracing or Perfetto).
 """
 
 from __future__ import annotations
@@ -20,13 +25,20 @@ from pathlib import Path
 
 import numpy as np
 
-from .align.matrices import lastz_default
 from .chain import GapCosts, build_chains, top_chain_scores, total_matches
 from .core import DarwinWGA, DarwinWGAConfig, Workload
 from .genome import make_species_pair, read_fasta, write_fasta
 from .hw import CostModel, asic_estimate
 from .io import write_chains, write_maf
 from .lastz import LastzAligner
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    load_run_report,
+    render_run,
+    write_chrome_trace,
+    write_run_report,
+)
 
 
 def _add_generate(subparsers) -> None:
@@ -92,6 +104,12 @@ def _add_align(subparsers) -> None:
     )
     parser.add_argument("--out", type=Path, default=None)
     parser.add_argument("--plus-only", action="store_true")
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a structured JSON trace of the run (see `repro trace`)",
+    )
     parser.set_defaults(func=_cmd_align)
 
 
@@ -110,16 +128,15 @@ def _load_single(path: Path):
 def _cmd_align(args) -> int:
     target = _load_single(args.target)
     query = _load_single(args.query)
+    tracer = Tracer() if args.trace_out is not None else NULL_TRACER
     if args.aligner == "darwin":
-        from dataclasses import replace
-
         config = DarwinWGAConfig(both_strands=not args.plus_only)
-        result = DarwinWGA(config).align(target, query)
+        result = DarwinWGA(config, tracer=tracer).align(target, query)
     else:
         from .lastz import LastzConfig
 
         config = LastzConfig(both_strands=not args.plus_only)
-        result = LastzAligner(config).align(target, query)
+        result = LastzAligner(config, tracer=tracer).align(target, query)
     workload = result.workload
     print(
         f"{len(result.alignments)} alignments "
@@ -131,6 +148,19 @@ def _cmd_align(args) -> int:
     if args.out is not None:
         write_maf(result.alignments, target, query, args.out)
         print(f"wrote {args.out}")
+    if args.trace_out is not None:
+        write_run_report(
+            args.trace_out,
+            tracer,
+            result=result,
+            meta={
+                "command": "align",
+                "aligner": args.aligner,
+                "target": str(args.target),
+                "query": str(args.query),
+            },
+        )
+        print(f"wrote trace {args.trace_out}")
     return 0
 
 
@@ -145,6 +175,12 @@ def _add_chain(subparsers) -> None:
     parser.add_argument(
         "--linear-gap", choices=("loose", "medium"), default="loose"
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a structured JSON trace of the run (see `repro trace`)",
+    )
     parser.set_defaults(func=_cmd_chain)
 
 
@@ -157,7 +193,19 @@ def _cmd_chain(args) -> int:
     gap_costs = (
         GapCosts.loose() if args.linear_gap == "loose" else GapCosts.medium()
     )
-    chains = build_chains(alignments, gap_costs)
+    tracer = Tracer() if args.trace_out is not None else NULL_TRACER
+    chains = build_chains(alignments, gap_costs, tracer=tracer)
+    if args.trace_out is not None:
+        write_run_report(
+            args.trace_out,
+            tracer,
+            meta={
+                "command": "chain",
+                "maf": str(args.maf),
+                "linear_gap": args.linear_gap,
+            },
+        )
+        print(f"wrote trace {args.trace_out}")
     print(
         f"{len(chains)} chains, {total_matches(chains):,} matched bp; "
         f"top-10 scores: "
@@ -336,6 +384,44 @@ def _cmd_tblastx(args) -> int:
     return 0
 
 
+def _add_trace(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="inspect or convert a JSON run trace (from --trace-out)",
+    )
+    parser.add_argument("report", type=Path)
+    parser.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        help="also write a Chrome trace_event file "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--max-spans",
+        type=int,
+        default=200,
+        help="span-tree lines to print before truncating",
+    )
+    parser.set_defaults(func=_cmd_trace)
+
+
+def _cmd_trace(args) -> int:
+    report = load_run_report(args.report)
+    meta = report.get("meta", {})
+    if meta:
+        print(
+            "meta: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        )
+        print()
+    print(render_run(report, max_spans=args.max_spans))
+    if args.chrome is not None:
+        write_chrome_trace(args.chrome, report)
+        print(f"\nwrote Chrome trace {args.chrome}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -349,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mask(subparsers)
     _add_net(subparsers)
     _add_tblastx(subparsers)
+    _add_trace(subparsers)
     return parser
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..align.alignment import Alignment, AnchorHit
 from ..align.cigar import Cigar
@@ -67,7 +67,7 @@ def tile_size_for_memory(traceback_bytes: int) -> int:
 class GactExtensionResult:
     """A stitched GACT extension (same shape as the GACT-X result)."""
 
-    alignment: Alignment = None
+    alignment: Optional[Alignment] = None
     tiles: Tuple[TileTrace, ...] = ()
 
     @property

@@ -30,6 +30,7 @@ from ..align.cigar import Cigar
 from ..align.scoring import ScoringScheme
 from ..align.xdrop import xdrop_extend
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
 from .config import ExtensionParams
 
 
@@ -123,11 +124,24 @@ def _extend_one_direction(
     query: Sequence,
     scoring: ScoringScheme,
     params: ExtensionParams,
+    tracer=NULL_TRACER,
+    direction: str = "right",
 ) -> Tuple[Cigar, int, int, List[TileTrace]]:
     """Tiled extension over ``target``/``query`` starting at position 0.
 
     Returns ``(cigar, target_span, query_span, tile_traces)``.
     """
+    with tracer.span("extend_direction", direction=direction) as span:
+        return _extend_loop(target, query, scoring, params, span)
+
+
+def _extend_loop(
+    target: Sequence,
+    query: Sequence,
+    scoring: ScoringScheme,
+    params: ExtensionParams,
+    span,
+) -> Tuple[Cigar, int, int, List[TileTrace]]:
     tile_size = params.tile_size
     boundary = tile_size - params.overlap
     cur_t = 0
@@ -190,6 +204,8 @@ def _extend_one_direction(
     merged = Cigar(())
     for piece in pieces:
         merged = merged + piece
+    span.inc("extension_tiles", len(traces))
+    span.inc("extension_cells", sum(t.cells for t in traces))
     return merged, cur_t, cur_q, traces
 
 
@@ -203,48 +219,64 @@ def gact_x_extend(
     anchor: AnchorHit,
     scoring: ScoringScheme,
     params: ExtensionParams,
+    tracer=NULL_TRACER,
 ) -> ExtensionResult:
     """Extend an anchor in both directions with GACT-X.
 
     The right extension includes the anchor base pair; the left extension
     runs on the reversed prefixes.  The merged alignment is rescored from
     its CIGAR and reported only when it reaches ``params.threshold``
-    (``H_e``).
+    (``H_e``).  When a tracer is supplied, one ``extend_anchor`` span is
+    recorded per call with left/right direction children.
     """
-    right_cigar, right_t, right_q, right_tiles = _extend_one_direction(
-        target.slice(anchor.target_pos, len(target)),
-        query.slice(anchor.query_pos, len(query)),
-        scoring,
-        params,
-    )
-    left_cigar, left_t, left_q, left_tiles = _extend_one_direction(
-        _reversed_sequence(target.slice(0, anchor.target_pos)),
-        _reversed_sequence(query.slice(0, anchor.query_pos)),
-        scoring,
-        params,
-    )
+    with tracer.span(
+        "extend_anchor",
+        target_pos=anchor.target_pos,
+        query_pos=anchor.query_pos,
+    ) as span:
+        right_cigar, right_t, right_q, right_tiles = (
+            _extend_one_direction(
+                target.slice(anchor.target_pos, len(target)),
+                query.slice(anchor.query_pos, len(query)),
+                scoring,
+                params,
+                tracer=tracer,
+                direction="right",
+            )
+        )
+        left_cigar, left_t, left_q, left_tiles = _extend_one_direction(
+            _reversed_sequence(target.slice(0, anchor.target_pos)),
+            _reversed_sequence(query.slice(0, anchor.query_pos)),
+            scoring,
+            params,
+            tracer=tracer,
+            direction="left",
+        )
 
-    cigar = left_cigar.reversed() + right_cigar
-    tiles = tuple(left_tiles) + tuple(right_tiles)
-    if len(cigar) == 0:
-        return ExtensionResult(alignment=None, tiles=tiles)
+        cigar = left_cigar.reversed() + right_cigar
+        tiles = tuple(left_tiles) + tuple(right_tiles)
+        span.inc("extension_tiles", len(tiles))
+        span.inc("extension_cells", sum(t.cells for t in tiles))
+        if len(cigar) == 0:
+            return ExtensionResult(alignment=None, tiles=tiles)
 
-    target_start = anchor.target_pos - left_t
-    query_start = anchor.query_pos - left_q
-    score = score_cigar(
-        cigar, target, query, target_start, query_start, scoring
-    )
-    if score < params.threshold:
-        return ExtensionResult(alignment=None, tiles=tiles)
-    alignment = Alignment(
-        target_name=target.name,
-        query_name=query.name,
-        target_start=target_start,
-        target_end=anchor.target_pos + right_t,
-        query_start=query_start,
-        query_end=anchor.query_pos + right_q,
-        score=score,
-        cigar=cigar,
-        strand=anchor.strand,
-    )
-    return ExtensionResult(alignment=alignment, tiles=tiles)
+        target_start = anchor.target_pos - left_t
+        query_start = anchor.query_pos - left_q
+        score = score_cigar(
+            cigar, target, query, target_start, query_start, scoring
+        )
+        span.set(score=score)
+        if score < params.threshold:
+            return ExtensionResult(alignment=None, tiles=tiles)
+        alignment = Alignment(
+            target_name=target.name,
+            query_name=query.name,
+            target_start=target_start,
+            target_end=anchor.target_pos + right_t,
+            query_start=query_start,
+            query_end=anchor.query_pos + right_q,
+            score=score,
+            cigar=cigar,
+            strand=anchor.strand,
+        )
+        return ExtensionResult(alignment=alignment, tiles=tiles)

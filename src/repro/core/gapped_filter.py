@@ -14,7 +14,7 @@ cannot create spurious anchors).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..align.banded_sw import band_cells, bsw_batch
 from ..align.scoring import ScoringScheme
 from ..genome import alphabet
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
 from .config import FilterParams
 
 
@@ -61,6 +62,7 @@ def gapped_filter(
     params: FilterParams,
     strand: int = 1,
     batch_size: int = 2048,
+    tracer=NULL_TRACER,
 ) -> GappedFilterResult:
     """Filter candidate seed hits with banded Smith-Waterman tiles.
 
@@ -72,41 +74,59 @@ def gapped_filter(
         params: tile size ``T_f``, band ``B``, threshold ``H_f``.
         strand: recorded on the emitted anchors.
         batch_size: tiles per vectorised batch (memory knob only).
+        tracer: optional :class:`repro.obs.Tracer`; records one
+            ``gapped_filter`` span with a ``bsw_batch`` child per batch.
 
     Returns:
         Qualifying anchors positioned at each tile's ``x_max`` plus the
         tile/cell workload (the paper's Table V "Filter tiles" column).
     """
     k = int(target_positions.size)
-    if k == 0:
-        return GappedFilterResult(anchors=[], tiles=0, cells=0)
-    tile = params.tile_size
-    half = tile // 2
-    per_tile_cells = band_cells(tile, tile, params.band)
+    with tracer.span(
+        "gapped_filter",
+        tile_size=params.tile_size,
+        band=params.band,
+        threshold=params.threshold,
+    ) as span:
+        if k == 0:
+            return GappedFilterResult(anchors=[], tiles=0, cells=0)
+        tile = params.tile_size
+        half = tile // 2
+        per_tile_cells = band_cells(tile, tile, params.band)
 
-    anchors: List[AnchorHit] = []
-    for start in range(0, k, batch_size):
-        t_centers = target_positions[start : start + batch_size]
-        q_centers = query_positions[start : start + batch_size]
-        target_tiles = _gather_tiles(target, t_centers, tile)
-        query_tiles = _gather_tiles(query, q_centers, tile)
-        scores, max_i, max_j = bsw_batch(
-            target_tiles, query_tiles, scoring, params.band
-        )
-        passing = np.flatnonzero(scores >= params.threshold)
-        for idx in passing:
-            # x_max in genome coordinates: tile origin + in-tile offset.
-            anchor_t = int(t_centers[idx]) - half + int(max_j[idx]) - 1
-            anchor_q = int(q_centers[idx]) - half + int(max_i[idx]) - 1
-            if 0 <= anchor_t < len(target) and 0 <= anchor_q < len(query):
-                anchors.append(
-                    AnchorHit(
-                        target_pos=anchor_t,
-                        query_pos=anchor_q,
-                        filter_score=int(scores[idx]),
-                        strand=strand,
-                    )
+        anchors: List[AnchorHit] = []
+        for start in range(0, k, batch_size):
+            t_centers = target_positions[start : start + batch_size]
+            q_centers = query_positions[start : start + batch_size]
+            with tracer.span("bsw_batch") as batch_span:
+                batch_span.inc("filter_tiles", int(t_centers.size))
+                batch_span.inc(
+                    "filter_cells", int(t_centers.size) * per_tile_cells
                 )
-    return GappedFilterResult(
-        anchors=anchors, tiles=k, cells=k * per_tile_cells
-    )
+                target_tiles = _gather_tiles(target, t_centers, tile)
+                query_tiles = _gather_tiles(query, q_centers, tile)
+                scores, max_i, max_j = bsw_batch(
+                    target_tiles, query_tiles, scoring, params.band
+                )
+            passing = np.flatnonzero(scores >= params.threshold)
+            for idx in passing:
+                # x_max in genome coordinates: tile origin + offset.
+                anchor_t = int(t_centers[idx]) - half + int(max_j[idx]) - 1
+                anchor_q = int(q_centers[idx]) - half + int(max_i[idx]) - 1
+                if 0 <= anchor_t < len(target) and 0 <= anchor_q < len(
+                    query
+                ):
+                    anchors.append(
+                        AnchorHit(
+                            target_pos=anchor_t,
+                            query_pos=anchor_q,
+                            filter_score=int(scores[idx]),
+                            strand=strand,
+                        )
+                    )
+        span.inc("filter_tiles", k)
+        span.inc("filter_cells", k * per_tile_cells)
+        span.inc("anchors", len(anchors))
+        return GappedFilterResult(
+            anchors=anchors, tiles=k, cells=k * per_tile_cells
+        )

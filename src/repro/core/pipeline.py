@@ -11,12 +11,12 @@ and consumed by the performance models in :mod:`repro.hw`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional
 
-import numpy as np
 
-from ..align.alignment import Alignment, AnchorHit
+from ..align.alignment import Alignment
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
 from ..seed.dsoft import dsoft_seed
 from ..seed.index import SeedIndex
 from .anchors import CoverageGrid
@@ -69,27 +69,71 @@ class DarwinWGA:
     >>> pair = make_species_pair(3000, 0.2, np.random.default_rng(0))
     >>> aligner = DarwinWGA()
     >>> result = aligner.align(pair.target.genome, pair.query.genome)
+
+    Pass a :class:`repro.obs.Tracer` to record per-stage spans (seed /
+    filter / per-anchor extension); the default :data:`NULL_TRACER` makes
+    instrumentation free.
     """
 
-    def __init__(self, config: DarwinWGAConfig = None) -> None:
+    def __init__(
+        self,
+        config: Optional[DarwinWGAConfig] = None,
+        tracer=None,
+    ) -> None:
         self.config = config or DarwinWGAConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def align(self, target: Sequence, query: Sequence) -> WGAResult:
-        """Align ``query`` against ``target`` on both strands."""
+    def align(
+        self,
+        target: Sequence,
+        query: Sequence,
+        index: Optional[SeedIndex] = None,
+    ) -> WGAResult:
+        """Align ``query`` against ``target`` on both strands.
+
+        ``index`` is an optional prebuilt :class:`SeedIndex` of
+        ``target`` (with this config's seed pattern); passing one lets
+        callers aligning many queries against the same target — e.g.
+        :func:`align_assemblies` — amortise index construction.
+        """
         config = self.config
-        index = SeedIndex.build(target, config.seed)
-        strands = (1, -1) if config.both_strands else (1,)
-        alignments: List[Alignment] = []
-        workload = Workload()
-        for strand in strands:
-            oriented = query if strand == 1 else query.reverse_complement()
-            strand_result = self._align_strand(
-                target, oriented, index, strand
-            )
-            alignments.extend(strand_result.alignments)
-            workload.merge(strand_result.workload)
-        alignments.sort(key=lambda a: -a.score)
-        return WGAResult(alignments=alignments, workload=workload)
+        tracer = self.tracer
+        with tracer.span(
+            "align",
+            aligner="darwin",
+            target=target.name or "target",
+            query=query.name or "query",
+            target_bp=len(target),
+            query_bp=len(query),
+        ) as span:
+            if index is None:
+                with tracer.span("build_index"):
+                    index = SeedIndex.build(target, config.seed)
+            strands = (1, -1) if config.both_strands else (1,)
+            alignments: List[Alignment] = []
+            workload = Workload()
+            for strand in strands:
+                oriented = (
+                    query if strand == 1 else query.reverse_complement()
+                )
+                with tracer.span(
+                    "strand", strand="+" if strand == 1 else "-"
+                ):
+                    strand_result = self._align_strand(
+                        target, oriented, index, strand
+                    )
+                alignments.extend(strand_result.alignments)
+                workload.merge(strand_result.workload)
+            alignments.sort(key=lambda a: -a.score)
+            span.inc("seed_hits", workload.seed_hits)
+            span.inc("filter_tiles", workload.filter_tiles)
+            span.inc("filter_cells", workload.filter_cells)
+            span.inc("extension_tiles", workload.extension_tiles)
+            span.inc("extension_cells", workload.extension_cells)
+            span.inc("anchors", workload.anchors)
+            span.inc("absorbed_anchors", workload.absorbed_anchors)
+            span.inc("alignments", len(alignments))
+            return WGAResult(alignments=alignments, workload=workload)
 
     def _align_strand(
         self,
@@ -99,7 +143,8 @@ class DarwinWGA:
         strand: int,
     ) -> WGAResult:
         config = self.config
-        seeding = dsoft_seed(index, query, config.dsoft)
+        tracer = self.tracer
+        seeding = dsoft_seed(index, query, config.dsoft, tracer=tracer)
         filter_result = gapped_filter(
             target,
             query,
@@ -108,6 +153,7 @@ class DarwinWGA:
             config.scoring,
             config.filtering,
             strand=strand,
+            tracer=tracer,
         )
         workload = Workload(
             seed_hits=seeding.raw_hit_count,
@@ -124,43 +170,59 @@ class DarwinWGA:
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
         )
-        for anchor in ordered:
-            if grid.absorbs(anchor):
-                workload.absorbed_anchors += 1
-                continue
-            extension = gact_x_extend(
-                target, query, anchor, config.scoring, config.extension
-            )
-            workload.extension_tiles += extension.tile_count
-            workload.extension_cells += extension.cells
-            workload.extension_tile_traces.extend(extension.tiles)
-            alignment = extension.alignment
-            if alignment is not None:
-                span = (
-                    alignment.target_start,
-                    alignment.target_end,
-                    alignment.query_start,
-                    alignment.query_end,
+        with tracer.span("extend") as extend_span:
+            for anchor in ordered:
+                if grid.absorbs(anchor):
+                    workload.absorbed_anchors += 1
+                    continue
+                extension = gact_x_extend(
+                    target,
+                    query,
+                    anchor,
+                    config.scoring,
+                    config.extension,
+                    tracer=tracer,
                 )
-                grid.add_alignment(alignment)
-                if span not in seen_spans:
-                    seen_spans.add(span)
-                    alignments.append(alignment)
+                workload.extension_tiles += extension.tile_count
+                workload.extension_cells += extension.cells
+                workload.extension_tile_traces.extend(extension.tiles)
+                alignment = extension.alignment
+                if alignment is not None:
+                    span = (
+                        alignment.target_start,
+                        alignment.target_end,
+                        alignment.query_start,
+                        alignment.query_end,
+                    )
+                    grid.add_alignment(alignment)
+                    if span not in seen_spans:
+                        seen_spans.add(span)
+                        alignments.append(alignment)
+            extend_span.inc("extension_tiles", workload.extension_tiles)
+            extend_span.inc("extension_cells", workload.extension_cells)
+            extend_span.inc(
+                "absorbed_anchors", workload.absorbed_anchors
+            )
+            extend_span.inc("alignments", len(alignments))
         return WGAResult(alignments=alignments, workload=workload)
 
 
 def align_pair(
-    target: Sequence, query: Sequence, config: DarwinWGAConfig = None
+    target: Sequence,
+    query: Sequence,
+    config: Optional[DarwinWGAConfig] = None,
+    tracer=None,
 ) -> WGAResult:
     """One-call convenience wrapper around :class:`DarwinWGA`."""
-    return DarwinWGA(config).align(target, query)
+    return DarwinWGA(config, tracer=tracer).align(target, query)
 
 
 def align_assemblies(
     target_assembly,
     query_assembly,
-    config: DarwinWGAConfig = None,
+    config=None,
     aligner_class=DarwinWGA,
+    tracer=None,
 ) -> WGAResult:
     """Whole-assembly WGA: every target chromosome vs every query
     chromosome (the paper's actual task — its species have multiple
@@ -168,15 +230,25 @@ def align_assemblies(
 
     Each chromosome pair is aligned independently; alignments keep their
     chromosome names so chains partition correctly per
-    (target chromosome, query chromosome, strand).
+    (target chromosome, query chromosome, strand).  The target seed
+    index is built once per target chromosome and shared across all
+    query chromosomes (and both strands), so index construction cost is
+    O(target) rather than O(target x queries).
     """
-    aligner = aligner_class(config)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    aligner = aligner_class(config, tracer=tracer)
     alignments: List[Alignment] = []
     workload = Workload()
-    for target in target_assembly:
-        for query in query_assembly:
-            result = aligner.align(target, query)
-            alignments.extend(result.alignments)
-            workload.merge(result.workload)
+    with tracer.span("align_assemblies") as span:
+        for target in target_assembly:
+            with tracer.span(
+                "build_index", target=target.name or "target"
+            ):
+                index = SeedIndex.build(target, aligner.config.seed)
+            for query in query_assembly:
+                result = aligner.align(target, query, index=index)
+                alignments.extend(result.alignments)
+                workload.merge(result.workload)
+                span.inc("chromosome_pairs")
     alignments.sort(key=lambda a: -a.score)
     return WGAResult(alignments=alignments, workload=workload)

@@ -19,7 +19,6 @@ both against the iso-sensitive software baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence as TypingSequence
 
 from ..core.pipeline import Workload
 from .memory import (

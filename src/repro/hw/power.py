@@ -10,8 +10,8 @@ re-provisioning for a different memory system) scales the estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from .memory import DramSystem
 
@@ -73,7 +73,7 @@ def asic_estimate(
     n_pe: int = 64,
     sram_kb_per_pe: int = 16,
     clock_hz: float = REFERENCE_CLOCK_HZ,
-    dram: DramSystem = None,
+    dram: Optional[DramSystem] = None,
     dram_bytes_per_sec: float = 46e9,
 ) -> AsicEstimate:
     """Estimate ASIC area and power for a given provisioning.

@@ -13,13 +13,12 @@ VI-A and a cross-check of the cost model's throughput numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.pipeline import Workload
+from ..obs.tracer import NULL_TRACER
 from .bsw_array import BswArrayModel
 from .gactx_array import GactXArrayModel
 from .memory import bsw_tile_bytes, gactx_tile_bytes
-from .platform import AsicPlatform, FpgaPlatform
 from .schedule import schedule_tiles
 
 
@@ -78,6 +77,7 @@ def simulate(
     filter_band: int = 32,
     extension_tile_size: int = 1920,
     max_filter_tiles_simulated: int = 100_000,
+    tracer=NULL_TRACER,
 ) -> SystemReport:
     """Play a workload through a platform's arrays.
 
@@ -86,60 +86,103 @@ def simulate(
     so streams longer than ``max_filter_tiles_simulated`` are scheduled
     at that length and the makespan scaled back up (exact for uniform
     tiles up to rounding).
+
+    A supplied tracer records one ``hw_simulate`` span whose engine
+    children carry *simulated* cycle/second attributes next to the
+    host's wall-clock, so hardware projections and software time land
+    in one trace.
     """
     clock = platform.array_config.clock_hz
 
-    # --- filter engine
-    bsw = BswArrayModel(
-        config=platform.array_config,
-        tile_size=filter_tile_size,
-        band=filter_band,
-    )
-    tile_cycles = bsw.tile_cycles()
-    n_filter = int(workload.filter_tiles)
-    simulated = min(n_filter, max_filter_tiles_simulated)
-    scale = n_filter / simulated if simulated else 0.0
-    filter_schedule = schedule_tiles(
-        [tile_cycles] * simulated, platform.bsw_arrays
-    )
-    filter_report = EngineReport(
-        tiles=n_filter,
-        makespan_seconds=filter_schedule.makespan_cycles * scale / clock,
-        utilisation=filter_schedule.utilisation,
-        bytes_moved=n_filter * bsw_tile_bytes(filter_tile_size),
-    )
+    with tracer.span(
+        "hw_simulate",
+        platform=type(platform).__name__,
+        clock_hz=clock,
+    ) as sim_span:
+        # --- filter engine
+        with tracer.span(
+            "filter_engine", arrays=platform.bsw_arrays
+        ) as engine_span:
+            bsw = BswArrayModel(
+                config=platform.array_config,
+                tile_size=filter_tile_size,
+                band=filter_band,
+            )
+            tile_cycles = bsw.tile_cycles()
+            n_filter = int(workload.filter_tiles)
+            simulated = min(n_filter, max_filter_tiles_simulated)
+            scale = n_filter / simulated if simulated else 0.0
+            filter_schedule = schedule_tiles(
+                [tile_cycles] * simulated, platform.bsw_arrays
+            )
+            filter_report = EngineReport(
+                tiles=n_filter,
+                makespan_seconds=filter_schedule.makespan_cycles
+                * scale
+                / clock,
+                utilisation=filter_schedule.utilisation,
+                bytes_moved=n_filter * bsw_tile_bytes(filter_tile_size),
+            )
+            engine_span.inc("filter_tiles", n_filter)
+            engine_span.set(
+                simulated_cycles=filter_schedule.makespan_cycles * scale,
+                simulated_seconds=filter_report.makespan_seconds,
+                utilisation=filter_report.utilisation,
+                bytes_moved=filter_report.bytes_moved,
+            )
 
-    # --- extension engine (uses the recorded row windows when present)
-    gactx = GactXArrayModel(config=platform.array_config)
-    traces = workload.extension_tile_traces
-    if traces:
-        extension_cycles = [gactx.tile_cycles(t) for t in traces]
-    else:
-        dense = (
-            extension_tile_size
-            * (extension_tile_size + platform.array_config.n_pe)
-            // platform.array_config.n_pe
+        # --- extension engine (uses recorded row windows when present)
+        with tracer.span(
+            "extension_engine", arrays=platform.gactx_arrays
+        ) as engine_span:
+            gactx = GactXArrayModel(config=platform.array_config)
+            traces = workload.extension_tile_traces
+            if traces:
+                extension_cycles = [gactx.tile_cycles(t) for t in traces]
+            else:
+                dense = (
+                    extension_tile_size
+                    * (extension_tile_size + platform.array_config.n_pe)
+                    // platform.array_config.n_pe
+                )
+                extension_cycles = [dense] * int(workload.extension_tiles)
+            extension_schedule = schedule_tiles(
+                extension_cycles, platform.gactx_arrays
+            )
+            n_extension = max(
+                int(workload.extension_tiles), len(extension_cycles)
+            )
+            per_tile_bytes = gactx_tile_bytes(extension_tile_size)
+            ext_scale = (
+                n_extension / len(extension_cycles)
+                if extension_cycles
+                else 0.0
+            )
+            extension_report = EngineReport(
+                tiles=n_extension,
+                makespan_seconds=extension_schedule.makespan_cycles
+                * ext_scale
+                / clock,
+                utilisation=extension_schedule.utilisation,
+                bytes_moved=n_extension * per_tile_bytes,
+            )
+            engine_span.inc("extension_tiles", n_extension)
+            engine_span.set(
+                simulated_cycles=extension_schedule.makespan_cycles
+                * ext_scale,
+                simulated_seconds=extension_report.makespan_seconds,
+                utilisation=extension_report.utilisation,
+                bytes_moved=extension_report.bytes_moved,
+            )
+
+        report = SystemReport(
+            filter=filter_report,
+            extension=extension_report,
+            sustained_bandwidth=platform.dram.sustained_bandwidth,
         )
-        extension_cycles = [dense] * int(workload.extension_tiles)
-    extension_schedule = schedule_tiles(
-        extension_cycles, platform.gactx_arrays
-    )
-    n_extension = max(int(workload.extension_tiles), len(extension_cycles))
-    per_tile_bytes = gactx_tile_bytes(extension_tile_size)
-    ext_scale = (
-        n_extension / len(extension_cycles) if extension_cycles else 0.0
-    )
-    extension_report = EngineReport(
-        tiles=n_extension,
-        makespan_seconds=extension_schedule.makespan_cycles
-        * ext_scale
-        / clock,
-        utilisation=extension_schedule.utilisation,
-        bytes_moved=n_extension * per_tile_bytes,
-    )
-
-    return SystemReport(
-        filter=filter_report,
-        extension=extension_report,
-        sustained_bandwidth=platform.dram.sustained_bandwidth,
-    )
+        sim_span.set(
+            simulated_seconds=report.runtime_seconds,
+            dram_bound=report.dram_bound,
+            bandwidth_fraction=report.bandwidth_fraction,
+        )
+        return report

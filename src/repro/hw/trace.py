@@ -12,7 +12,7 @@ sustainable bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence as TypingSequence, Tuple
+from typing import Iterable, Iterator, Sequence as TypingSequence, Tuple
 
 from .memory import (
     DramSystem,
@@ -99,8 +99,14 @@ def generate_trace(
             address += BURST_BYTES
 
 
-def summarise(accesses: Iterator[TraceAccess]) -> TraceSummary:
-    """Reduce a trace to counts and span."""
+def summarise(accesses: Iterable[TraceAccess]) -> TraceSummary:
+    """Reduce a trace to counts and span.
+
+    Accepts any iterable — a list, a tuple, or the lazy generator from
+    :func:`generate_trace`.  The input is consumed in a single pass: a
+    generator passed in will be exhausted afterwards (re-generate or
+    materialise it first if you need the accesses again).
+    """
     reads = writes = 0
     first = None
     last = 0

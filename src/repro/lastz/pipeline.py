@@ -16,7 +16,7 @@ spans would be equivalent anyway — GACT-X's tiling exists to bound
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from ..align.alignment import Alignment
 from ..core.anchors import CoverageGrid
@@ -26,6 +26,7 @@ from ..core.pipeline import WGAResult, Workload
 from ..align.matrices import lastz_default
 from ..align.scoring import ScoringScheme
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
 from ..seed.dsoft import all_seed_hits
 from ..seed.index import SeedIndex
 from ..seed.patterns import SpacedSeed
@@ -52,23 +53,64 @@ class LastzConfig:
 class LastzAligner:
     """Seed / ungapped-filter / extend aligner in LASTZ's default mode."""
 
-    def __init__(self, config: LastzConfig = None) -> None:
+    def __init__(
+        self,
+        config: Optional[LastzConfig] = None,
+        tracer=None,
+    ) -> None:
         self.config = config or LastzConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def align(self, target: Sequence, query: Sequence) -> WGAResult:
-        """Align ``query`` against ``target`` on both strands."""
+    def align(
+        self,
+        target: Sequence,
+        query: Sequence,
+        index: Optional[SeedIndex] = None,
+    ) -> WGAResult:
+        """Align ``query`` against ``target`` on both strands.
+
+        ``index`` is an optional prebuilt :class:`SeedIndex` of
+        ``target``, reusable across queries exactly as in
+        :meth:`repro.core.pipeline.DarwinWGA.align`.
+        """
         config = self.config
-        index = SeedIndex.build(target, config.seed)
-        strands = (1, -1) if config.both_strands else (1,)
-        alignments: List[Alignment] = []
-        workload = Workload()
-        for strand in strands:
-            oriented = query if strand == 1 else query.reverse_complement()
-            result = self._align_strand(target, oriented, index, strand)
-            alignments.extend(result.alignments)
-            workload.merge(result.workload)
-        alignments.sort(key=lambda a: -a.score)
-        return WGAResult(alignments=alignments, workload=workload)
+        tracer = self.tracer
+        with tracer.span(
+            "align",
+            aligner="lastz",
+            target=target.name or "target",
+            query=query.name or "query",
+            target_bp=len(target),
+            query_bp=len(query),
+        ) as span:
+            if index is None:
+                with tracer.span("build_index"):
+                    index = SeedIndex.build(target, config.seed)
+            strands = (1, -1) if config.both_strands else (1,)
+            alignments: List[Alignment] = []
+            workload = Workload()
+            for strand in strands:
+                oriented = (
+                    query if strand == 1 else query.reverse_complement()
+                )
+                with tracer.span(
+                    "strand", strand="+" if strand == 1 else "-"
+                ):
+                    result = self._align_strand(
+                        target, oriented, index, strand
+                    )
+                alignments.extend(result.alignments)
+                workload.merge(result.workload)
+            alignments.sort(key=lambda a: -a.score)
+            span.inc("seed_hits", workload.seed_hits)
+            span.inc("filter_tiles", workload.filter_tiles)
+            span.inc("filter_cells", workload.filter_cells)
+            span.inc("extension_tiles", workload.extension_tiles)
+            span.inc("extension_cells", workload.extension_cells)
+            span.inc("anchors", workload.anchors)
+            span.inc("absorbed_anchors", workload.absorbed_anchors)
+            span.inc("alignments", len(alignments))
+            return WGAResult(alignments=alignments, workload=workload)
 
     def _align_strand(
         self,
@@ -78,16 +120,23 @@ class LastzAligner:
         strand: int,
     ) -> WGAResult:
         config = self.config
-        seeding = all_seed_hits(index, query, seed_limit=config.seed_limit)
-        filter_result = ungapped_filter(
-            target,
-            query,
-            seeding.target_positions,
-            seeding.query_positions,
-            config.scoring,
-            config.filtering,
-            strand=strand,
+        tracer = self.tracer
+        seeding = all_seed_hits(
+            index, query, seed_limit=config.seed_limit, tracer=tracer
         )
+        with tracer.span("ungapped_filter") as filter_span:
+            filter_result = ungapped_filter(
+                target,
+                query,
+                seeding.target_positions,
+                seeding.query_positions,
+                config.scoring,
+                config.filtering,
+                strand=strand,
+            )
+            filter_span.inc("filter_tiles", filter_result.hits)
+            filter_span.inc("filter_cells", filter_result.cells)
+            filter_span.inc("anchors", len(filter_result.anchors))
         workload = Workload(
             seed_hits=seeding.raw_hit_count,
             filter_tiles=filter_result.hits,
@@ -101,32 +150,47 @@ class LastzAligner:
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
         )
-        for anchor in ordered:
-            if grid.absorbs(anchor):
-                workload.absorbed_anchors += 1
-                continue
-            extension = gact_x_extend(
-                target, query, anchor, config.scoring, config.extension
-            )
-            workload.extension_tiles += extension.tile_count
-            workload.extension_cells += extension.cells
-            alignment = extension.alignment
-            if alignment is not None:
-                span = (
-                    alignment.target_start,
-                    alignment.target_end,
-                    alignment.query_start,
-                    alignment.query_end,
+        with tracer.span("extend") as extend_span:
+            for anchor in ordered:
+                if grid.absorbs(anchor):
+                    workload.absorbed_anchors += 1
+                    continue
+                extension = gact_x_extend(
+                    target,
+                    query,
+                    anchor,
+                    config.scoring,
+                    config.extension,
+                    tracer=tracer,
                 )
-                grid.add_alignment(alignment)
-                if span not in seen_spans:
-                    seen_spans.add(span)
-                    alignments.append(alignment)
+                workload.extension_tiles += extension.tile_count
+                workload.extension_cells += extension.cells
+                alignment = extension.alignment
+                if alignment is not None:
+                    span = (
+                        alignment.target_start,
+                        alignment.target_end,
+                        alignment.query_start,
+                        alignment.query_end,
+                    )
+                    grid.add_alignment(alignment)
+                    if span not in seen_spans:
+                        seen_spans.add(span)
+                        alignments.append(alignment)
+            extend_span.inc("extension_tiles", workload.extension_tiles)
+            extend_span.inc("extension_cells", workload.extension_cells)
+            extend_span.inc(
+                "absorbed_anchors", workload.absorbed_anchors
+            )
+            extend_span.inc("alignments", len(alignments))
         return WGAResult(alignments=alignments, workload=workload)
 
 
 def align_pair_lastz(
-    target: Sequence, query: Sequence, config: LastzConfig = None
+    target: Sequence,
+    query: Sequence,
+    config: Optional[LastzConfig] = None,
+    tracer=None,
 ) -> WGAResult:
     """One-call convenience wrapper around :class:`LastzAligner`."""
-    return LastzAligner(config).align(target, query)
+    return LastzAligner(config, tracer=tracer).align(target, query)

@@ -1,0 +1,57 @@
+"""Observability: span tracing, stage metrics and structured run reports.
+
+The paper's whole evaluation (Table V, Figures 8-10) rests on per-stage
+workload accounting; this package adds the measurement spine the rest of
+the repository hangs those numbers on:
+
+* :mod:`repro.obs.tracer` — nested wall-clock spans with per-span
+  counters and attributes, plus a zero-cost :class:`NullTracer` so
+  instrumented code is free when tracing is off;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram primitives and the
+  derived pipeline metrics (cells/s per stage, the
+  seeds -> anchors -> alignments funnel, absorption rate);
+* :mod:`repro.obs.export` — structured JSON run reports, a
+  Chrome-``trace_event`` export loadable in ``chrome://tracing`` /
+  Perfetto, and a human-readable span-tree renderer.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    funnel_metrics,
+    stage_summary,
+)
+from .export import (
+    load_run_report,
+    render_run,
+    render_tree,
+    run_report,
+    spans_from_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_run_report,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "funnel_metrics",
+    "stage_summary",
+    "load_run_report",
+    "render_run",
+    "render_tree",
+    "run_report",
+    "spans_from_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_run_report",
+]

@@ -21,7 +21,6 @@ from typing import Dict, List, Sequence as TypingSequence, Tuple
 
 import numpy as np
 
-from ..genome import alphabet
 from ..genome.evolution import k80_difference_probabilities
 from .patterns import SpacedSeed
 

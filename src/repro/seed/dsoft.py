@@ -16,11 +16,12 @@ qualifying band.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
 from .index import SeedIndex
 from .patterns import SpacedSeed
 
@@ -87,46 +88,59 @@ def query_seed_words(
 
 
 def dsoft_seed(
-    index: SeedIndex, query: Sequence, params: DsoftParams
+    index: SeedIndex,
+    query: Sequence,
+    params: DsoftParams,
+    tracer=NULL_TRACER,
 ) -> SeedingResult:
     """Run D-SOFT seeding of ``query`` against an indexed target.
 
     Returns one candidate hit per diagonal band with at least
     ``params.threshold`` seed hits.
     """
-    words, positions = query_seed_words(query, index.seed)
-    target_hits, query_hits = index.lookup_batch(words, positions)
-    raw = int(target_hits.size)
-    if raw == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return SeedingResult(empty, empty.copy(), 0, 0)
+    with tracer.span("seed", method="dsoft") as span:
+        words, positions = query_seed_words(query, index.seed)
+        target_hits, query_hits = index.lookup_batch(words, positions)
+        raw = int(target_hits.size)
+        span.inc("seed_hits", raw)
+        if raw == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return SeedingResult(empty, empty.copy(), 0, 0)
 
-    chunk_ids = query_hits // params.chunk_size
-    # The band-defining coordinate: the target position shifted back to
-    # the chunk origin, so hits on nearby diagonals within a chunk share a
-    # band (Figure 4a).  Offset by the query length so ids stay positive.
-    band_coord = target_hits - (query_hits % params.chunk_size) + len(query)
-    bin_ids = band_coord // params.bin_size
-    n_bins = (index.target_length + len(query)) // params.bin_size + 2
-    band_keys = chunk_ids * n_bins + bin_ids
+        chunk_ids = query_hits // params.chunk_size
+        # The band-defining coordinate: the target position shifted back
+        # to the chunk origin, so hits on nearby diagonals within a chunk
+        # share a band (Figure 4a).  Offset by the query length so ids
+        # stay positive.
+        band_coord = (
+            target_hits - (query_hits % params.chunk_size) + len(query)
+        )
+        bin_ids = band_coord // params.bin_size
+        n_bins = (index.target_length + len(query)) // params.bin_size + 2
+        band_keys = chunk_ids * n_bins + bin_ids
 
-    order = np.argsort(band_keys, kind="stable")
-    sorted_keys = band_keys[order]
-    unique_keys, first_index, counts = np.unique(
-        sorted_keys, return_index=True, return_counts=True
-    )
-    qualifying = counts >= params.threshold
-    representatives = order[first_index[qualifying]]
-    return SeedingResult(
-        target_positions=target_hits[representatives],
-        query_positions=query_hits[representatives],
-        raw_hit_count=raw,
-        band_count=int(unique_keys.size),
-    )
+        order = np.argsort(band_keys, kind="stable")
+        sorted_keys = band_keys[order]
+        unique_keys, first_index, counts = np.unique(
+            sorted_keys, return_index=True, return_counts=True
+        )
+        qualifying = counts >= params.threshold
+        representatives = order[first_index[qualifying]]
+        span.inc("bands", int(unique_keys.size))
+        span.inc("candidates", int(representatives.size))
+        return SeedingResult(
+            target_positions=target_hits[representatives],
+            query_positions=query_hits[representatives],
+            raw_hit_count=raw,
+            band_count=int(unique_keys.size),
+        )
 
 
 def all_seed_hits(
-    index: SeedIndex, query: Sequence, seed_limit: int = 0
+    index: SeedIndex,
+    query: Sequence,
+    seed_limit: int = 0,
+    tracer=NULL_TRACER,
 ) -> SeedingResult:
     """Enumerate every seed hit without band filtering (LASTZ-style).
 
@@ -135,17 +149,22 @@ def all_seed_hits(
     often than the limit in the target (LASTZ's word-count filtering of
     over-represented seeds), with 0 meaning unlimited.
     """
-    words, positions = query_seed_words(query, index.seed)
-    if seed_limit > 0 and words.size:
-        left = np.searchsorted(index.sorted_words, words, side="left")
-        right = np.searchsorted(index.sorted_words, words, side="right")
-        keep = (right - left) <= seed_limit
-        words = words[keep]
-        positions = positions[keep]
-    target_hits, query_hits = index.lookup_batch(words, positions)
-    return SeedingResult(
-        target_positions=target_hits,
-        query_positions=query_hits,
-        raw_hit_count=int(target_hits.size),
-        band_count=0,
-    )
+    with tracer.span("seed", method="all_hits") as span:
+        words, positions = query_seed_words(query, index.seed)
+        if seed_limit > 0 and words.size:
+            left = np.searchsorted(index.sorted_words, words, side="left")
+            right = np.searchsorted(
+                index.sorted_words, words, side="right"
+            )
+            keep = (right - left) <= seed_limit
+            words = words[keep]
+            positions = positions[keep]
+        target_hits, query_hits = index.lookup_batch(words, positions)
+        span.inc("seed_hits", int(target_hits.size))
+        span.inc("candidates", int(target_hits.size))
+        return SeedingResult(
+            target_positions=target_hits,
+            query_positions=query_hits,
+            raw_hit_count=int(target_hits.size),
+            band_count=0,
+        )

@@ -15,7 +15,7 @@ at match slot ``k`` is exactly a flip of word bit ``2k + 1``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Codon translation tests."""
 
-import numpy as np
 import pytest
 
 from repro.annotate import (

@@ -1,7 +1,6 @@
 """Translated whole-genome search tests (paper future-work feature)."""
 
 import numpy as np
-import pytest
 
 from repro.annotate import (
     TblastxParams,
@@ -9,7 +8,7 @@ from repro.annotate import (
     translated_search,
 )
 from repro.annotate.translated_search import _dna_interval
-from repro.genome import Interval, Sequence, make_species_pair
+from repro.genome import Sequence, make_species_pair
 
 
 class TestDnaInterval:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.align import Alignment, Cigar
-from repro.chain import Chain, GapCosts, build_chains
+from repro.chain import GapCosts, build_chains
 
 
 def block(t_start, q_start, length, score, strand=1, names=("t", "q")):

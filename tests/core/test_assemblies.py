@@ -5,7 +5,7 @@ import pytest
 
 from repro.chain import build_chains
 from repro.core import align_assemblies
-from repro.genome import Assembly, Sequence, split_into_chromosomes
+from repro.genome import Assembly, Sequence
 from repro.genome.synthesis import markov_genome
 from repro.lastz import LastzAligner
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import DarwinWGA, DarwinWGAConfig, ExtensionParams, FilterParams
 from repro.genome import make_species_pair
-from repro.seed import DsoftParams
 
 
 @pytest.fixture(scope="module")

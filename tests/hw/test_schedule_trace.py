@@ -5,7 +5,6 @@ import pytest
 from repro.hw import (
     BURST_BYTES,
     DramSystem,
-    ScheduleResult,
     generate_trace,
     provisioning_check,
     saturation_sweep,

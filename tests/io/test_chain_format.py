@@ -1,6 +1,5 @@
 """UCSC chain format tests."""
 
-import pytest
 
 from repro.align import Alignment, Cigar
 from repro.chain import build_chains

@@ -1,0 +1,88 @@
+"""Determinism and tracing-neutrality regression tests.
+
+Two runs from the same RNG seed must agree on every workload counter
+and every alignment score (trace timestamps excluded), and running
+with a real tracer must not change the computation relative to the
+default NullTracer path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DarwinWGA, Workload
+from repro.genome import make_species_pair
+from repro.lastz import LastzAligner
+from repro.obs import Tracer
+
+WORKLOAD_COUNTERS = (
+    "seed_hits",
+    "filter_tiles",
+    "filter_cells",
+    "extension_tiles",
+    "extension_cells",
+    "anchors",
+    "absorbed_anchors",
+)
+
+
+def _pair(seed=11):
+    return make_species_pair(
+        5000,
+        0.5,
+        np.random.default_rng(seed),
+        alignable_fraction=0.45,
+    )
+
+
+def _counters(workload: Workload):
+    return {name: getattr(workload, name) for name in WORKLOAD_COUNTERS}
+
+
+class TestDeterminism:
+    def test_same_seed_same_counters_and_scores(self):
+        first_pair = _pair()
+        second_pair = _pair()
+        first = DarwinWGA().align(
+            first_pair.target.genome, first_pair.query.genome
+        )
+        second = DarwinWGA().align(
+            second_pair.target.genome, second_pair.query.genome
+        )
+        assert _counters(first.workload) == _counters(second.workload)
+        assert [a.score for a in first.alignments] == [
+            a.score for a in second.alignments
+        ]
+        assert [str(a.cigar) for a in first.alignments] == [
+            str(a.cigar) for a in second.alignments
+        ]
+
+    def test_different_seed_changes_something(self):
+        pair_a = _pair(1)
+        pair_b = _pair(2)
+        a = DarwinWGA().align(pair_a.target.genome, pair_a.query.genome)
+        b = DarwinWGA().align(pair_b.target.genome, pair_b.query.genome)
+        assert _counters(a.workload) != _counters(b.workload)
+
+    @pytest.mark.parametrize("aligner_class", [DarwinWGA, LastzAligner])
+    def test_tracing_does_not_change_results(self, aligner_class):
+        pair = _pair()
+        target, query = pair.target.genome, pair.query.genome
+        plain = aligner_class().align(target, query)
+        traced = aligner_class(tracer=Tracer()).align(target, query)
+        assert _counters(plain.workload) == _counters(traced.workload)
+        assert [a.score for a in plain.alignments] == [
+            a.score for a in traced.alignments
+        ]
+
+    def test_trace_counters_deterministic_across_runs(self):
+        """Span counters (not timestamps) repeat run to run."""
+
+        def run():
+            pair = _pair()
+            tracer = Tracer()
+            DarwinWGA(tracer=tracer).align(
+                pair.target.genome, pair.query.genome
+            )
+            return [(s.name, s.counters) for s in tracer.walk()]
+
+        assert run() == run()

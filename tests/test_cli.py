@@ -109,6 +109,76 @@ class TestChain:
         assert text.startswith("chain ")
 
 
+class TestTrace:
+    def test_align_trace_out_and_render(self, genomes, capsys):
+        import json
+
+        trace_path = genomes / "run.json"
+        code = main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(trace_path.read_text())
+        assert report["spans"][0]["name"] == "align"
+        # per-stage cell counts in the trace match the workload block
+        root = report["spans"][0]
+        assert (
+            root["counters"]["filter_cells"]
+            == report["workload"]["filter_cells"]
+        )
+        assert (
+            root["counters"]["extension_cells"]
+            == report["workload"]["extension_cells"]
+        )
+        capsys.readouterr()
+
+        chrome_path = genomes / "chrome.json"
+        code = main(
+            ["trace", str(trace_path), "--chrome", str(chrome_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "align" in out
+        chrome = json.loads(chrome_path.read_text())
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_chain_trace_out(self, genomes, capsys):
+        import json
+
+        maf = genomes / "trace.maf"
+        main(
+            [
+                "align",
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--out",
+                str(maf),
+            ]
+        )
+        trace_path = genomes / "chain_run.json"
+        code = main(
+            [
+                "chain",
+                str(maf),
+                str(genomes / "target.fa"),
+                str(genomes / "query.fa"),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(trace_path.read_text())
+        assert report["spans"][0]["name"] == "chain"
+        assert report["meta"]["command"] == "chain"
+
+
 class TestModel:
     def test_model_defaults(self, capsys):
         code = main(["model"])

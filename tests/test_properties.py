@@ -5,8 +5,6 @@ relationships, liftover consistency, chain accounting, tiling-path
 bookkeeping, and encoding round trips at the subsystem boundaries.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
