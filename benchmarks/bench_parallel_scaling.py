@@ -1,0 +1,90 @@
+"""Speedup-vs-workers of the parallel execution engine.
+
+Runs the largest (most extension-heavy) species pair end-to-end at
+several worker counts, asserts the parallel runs are byte-identical to
+the serial one (the engine's core contract), and records the wall-clock
+and speedup curve into ``BENCH_PIPELINE.json`` under
+``parallel_scaling``.  On a single-core container the curve is flat —
+the interesting artifact numbers come from multicore runs — but the
+identity assertion holds everywhere.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DarwinWGA
+from repro.genome import make_species_pair
+
+from .conftest import (
+    BENCH_PIPELINE_PATH,
+    EXON_COUNT,
+    GENOME_LENGTH,
+    PAIR_MODEL,
+    PAIR_SPECS,
+    print_table,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _record_scaling(pair_name, timings):
+    """Merge the scaling curve into the aggregate perf artifact."""
+    try:
+        artifact = json.loads(BENCH_PIPELINE_PATH.read_text())
+    except (OSError, ValueError):
+        artifact = {"version": 1}
+    serial = timings[1]
+    artifact["parallel_scaling"] = {
+        "pair": pair_name,
+        "genome_length": GENOME_LENGTH,
+        "wall_seconds": {str(w): t for w, t in timings.items()},
+        "speedup": {str(w): serial / t for w, t in timings.items()},
+        "identical_output": True,
+    }
+    BENCH_PIPELINE_PATH.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True)
+    )
+
+
+@pytest.mark.benchmark(group="parallel_scaling")
+def test_parallel_scaling(benchmark):
+    name, distance, seed = PAIR_SPECS[-1]
+    pair = make_species_pair(
+        GENOME_LENGTH,
+        distance,
+        np.random.default_rng(seed),
+        exon_count=EXON_COUNT,
+        **PAIR_MODEL,
+    )
+    target, query = pair.target.genome, pair.query.genome
+
+    def sweep():
+        timings = {}
+        results = {}
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            with DarwinWGA(workers=workers) as aligner:
+                results[workers] = aligner.align(target, query)
+            timings[workers] = time.perf_counter() - start
+        return timings, results
+
+    timings, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    serial = results[WORKER_COUNTS[0]]
+    for workers in WORKER_COUNTS[1:]:
+        assert results[workers].alignments == serial.alignments, (
+            f"workers={workers} changed the output"
+        )
+    _record_scaling(name, timings)
+
+    print_table(
+        f"Parallel scaling ({name}, {GENOME_LENGTH:,} bp)",
+        ("workers", "seconds", "speedup"),
+        [
+            (w, f"{timings[w]:.2f}", f"{timings[1] / timings[w]:.2f}x")
+            for w in WORKER_COUNTS
+        ],
+    )

@@ -8,7 +8,9 @@ cache); the individual benchmarks derive their tables from those runs.
 
 Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow/shrink the
 synthetic genomes; shapes are stable across scales, absolute numbers grow
-with genome size.
+with genome size.  ``REPRO_BENCH_WORKERS`` (default 1) runs the pair
+alignments through the parallel execution engine — the alignments are
+byte-identical by construction, only the wall-clock columns move.
 
 Every pair run is traced with :mod:`repro.obs`; after all pairs have
 run, an aggregate perf artifact with per-stage wall-clock and cells/s
@@ -37,6 +39,7 @@ BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / (
 )
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Synthetic stand-ins for the paper's four species pairs, ordered from
 #: closest to most distant (Figure 8 distances in substitutions/site).
@@ -79,6 +82,25 @@ PAIR_MODEL = dict(
 )
 
 
+def _chain_order(alignments):
+    """Sort alignments so ``build_chains(..., presorted=True)`` is exact.
+
+    A stable global sort on (partition key, target_start, query_start)
+    reproduces, within each (target, query, strand) partition, precisely
+    the order the chainer's own per-partition re-sort would produce.
+    """
+    return sorted(
+        alignments,
+        key=lambda a: (
+            a.target_name,
+            a.query_name,
+            a.strand,
+            a.target_start,
+            a.query_start,
+        ),
+    )
+
+
 def _run_pair(name, distance, seed):
     pair = make_species_pair(
         GENOME_LENGTH,
@@ -89,13 +111,21 @@ def _run_pair(name, distance, seed):
     )
     target, query = pair.target.genome, pair.query.genome
     darwin_tracer = Tracer()
-    darwin = DarwinWGA(tracer=darwin_tracer).align(target, query)
+    with DarwinWGA(tracer=darwin_tracer, workers=WORKERS) as aligner:
+        darwin = aligner.align(target, query)
     lastz_tracer = Tracer()
-    lastz = LastzAligner(tracer=lastz_tracer).align(target, query)
+    with LastzAligner(tracer=lastz_tracer, workers=WORKERS) as aligner:
+        lastz = aligner.align(target, query)
     darwin_chains = build_chains(
-        darwin.alignments, tracer=darwin_tracer
+        _chain_order(darwin.alignments),
+        tracer=darwin_tracer,
+        presorted=True,
     )
-    lastz_chains = build_chains(lastz.alignments, tracer=lastz_tracer)
+    lastz_chains = build_chains(
+        _chain_order(lastz.alignments),
+        tracer=lastz_tracer,
+        presorted=True,
+    )
     meta = {"pair": name, "distance": distance}
     return PairRun(
         name=name,
@@ -132,6 +162,7 @@ def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
     artifact = {
         "version": 1,
         "scale": SCALE,
+        "workers": WORKERS,
         "genome_length": GENOME_LENGTH,
         "python": platform.python_version(),
         "pairs": {

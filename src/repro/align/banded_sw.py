@@ -83,7 +83,7 @@ def bsw_batch(
     n = query_tiles.shape[1]
     o = np.int64(scoring.gap_open)
     e = np.int64(scoring.gap_extend)
-    matrix = scoring.matrix.astype(np.int64)
+    matrix = scoring.matrix64
 
     v_prev = np.zeros((k, m + 1), dtype=np.int64)
     u_prev = np.full((k, m + 1), NEG_INF, dtype=np.int64)

@@ -50,10 +50,9 @@ def align_global(
     v_prev = _dp.boundary_scores(m, scoring, free=False)
     u_prev = np.full(m + 1, _dp.NEG_INF)
     pointer_rows = []
+    sub_columns = _dp.substitution_columns(target, scoring)
     for i in range(1, n + 1):
-        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
-            np.int64
-        )
+        subs = sub_columns[query.codes[i - 1]]
         boundary = np.int64(-scoring.gap_cost(i))
         v_prev, u_prev, _, pointers = _dp.row_update(
             v_prev, u_prev, subs, scoring, boundary, local=False
@@ -86,10 +85,9 @@ def global_score(
         return -scoring.gap_cost(max(m, n))
     v_prev = _dp.boundary_scores(m, scoring, free=False)
     u_prev = np.full(m + 1, _dp.NEG_INF)
+    sub_columns = _dp.substitution_columns(target, scoring)
     for i in range(1, n + 1):
-        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
-            np.int64
-        )
+        subs = sub_columns[query.codes[i - 1]]
         v_prev, u_prev, _, _ = _dp.row_update(
             v_prev,
             u_prev,

@@ -72,6 +72,32 @@ class ScoringScheme:
         """The largest score on the matrix diagonal."""
         return int(np.max(np.diag(self.matrix[:4, :4])))
 
+    @property
+    def matrix64(self) -> np.ndarray:
+        """The substitution matrix widened to ``int64``, memoised.
+
+        Every DP kernel accumulates in ``int64``; widening the matrix once
+        here (instead of ``astype`` per call or per row) keeps the hot
+        loops allocation free.  The array is read-only so the cache can be
+        shared safely.
+        """
+        cached = self.__dict__.get("_matrix64")
+        if cached is None:
+            cached = self.matrix.astype(np.int64)
+            cached.setflags(write=False)
+            self.__dict__["_matrix64"] = cached
+        return cached
+
     def row_scores(self, base: int, codes: np.ndarray) -> np.ndarray:
         """Vector of substitution scores of ``base`` against ``codes``."""
-        return self.matrix[base, codes]
+        return self.matrix64[base, codes]
+
+    def substitution_rows(self, codes: np.ndarray) -> np.ndarray:
+        """Per-base substitution rows ``W[codes[i], :]`` as ``int64``.
+
+        Precomputing the gather once per sequence lets row-wise DP loops
+        slice ``rows[i][window]`` instead of re-indexing the matrix for
+        every row (the per-cell lookup the hardware folds into its PE
+        array).
+        """
+        return self.matrix64[codes]

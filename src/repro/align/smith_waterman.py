@@ -26,10 +26,9 @@ def score_matrix(
     n = len(query)
     v = np.zeros((n + 1, m + 1), dtype=np.int64)
     u_prev = np.full(m + 1, _dp.NEG_INF)
+    sub_columns = _dp.substitution_columns(target, scoring)
     for i in range(1, n + 1):
-        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
-            np.int64
-        )
+        subs = sub_columns[query.codes[i - 1]]
         v[i], u_prev, _, _ = _dp.row_update(
             v[i - 1], u_prev, subs, scoring, np.int64(0), local=True
         )
@@ -53,10 +52,9 @@ def align_local(
     u_prev = np.full(m + 1, _dp.NEG_INF)
     pointer_rows = []
     best = (np.int64(0), 0, 0)  # score, i, j
+    sub_columns = _dp.substitution_columns(target, scoring)
     for i in range(1, n + 1):
-        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
-            np.int64
-        )
+        subs = sub_columns[query.codes[i - 1]]
         v_prev, u_prev, _, pointers = _dp.row_update(
             v_prev, u_prev, subs, scoring, np.int64(0), local=True
         )
@@ -100,10 +98,9 @@ def best_score(
     v_prev = _dp.boundary_scores(m, scoring, free=True)
     u_prev = np.full(m + 1, _dp.NEG_INF)
     best = np.int64(0)
+    sub_columns = _dp.substitution_columns(target, scoring)
     for i in range(1, n + 1):
-        subs = scoring.row_scores(query.codes[i - 1], target.codes).astype(
-            np.int64
-        )
+        subs = sub_columns[query.codes[i - 1]]
         v_prev, u_prev, _, _ = _dp.row_update(
             v_prev, u_prev, subs, scoring, np.int64(0), local=True
         )

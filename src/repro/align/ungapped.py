@@ -12,12 +12,41 @@ Smith-Waterman; both are implemented so the pipelines can be compared.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
 
 from ..genome.sequence import Sequence
 from .scoring import ScoringScheme
+
+
+@lru_cache(maxsize=8)
+def _direction_offsets(max_length: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Read-only ``(right, left)`` offset arrays for one window size.
+
+    These are identical for every batch with the same ``max_length``, so
+    they are built once and reused instead of calling ``np.arange`` inside
+    the hot filtering loop.
+    """
+    right = np.arange(max_length, dtype=np.int64)
+    left = -np.arange(1, max_length + 1, dtype=np.int64)
+    right.setflags(write=False)
+    left.setflags(write=False)
+    return right, left
+
+
+_LANES = np.empty(0, dtype=np.int64)
+
+
+def _lane_indices(k: int) -> np.ndarray:
+    """First ``k`` lane indices from a grow-only cached ``arange``."""
+    global _LANES
+    if _LANES.size < k:
+        lanes = np.arange(max(k, 2 * _LANES.size), dtype=np.int64)
+        lanes.setflags(write=False)
+        _LANES = lanes
+    return _LANES[:k]
 
 
 @dataclass(frozen=True)
@@ -80,7 +109,7 @@ def ungapped_extend(
     """
     t = target.codes
     q = query.codes
-    matrix = scoring.matrix.astype(np.int64)
+    matrix = scoring.matrix64
 
     right_len = min(len(target) - target_pos, len(query) - query_pos, max_length)
     left_len = min(target_pos, query_pos, max_length)
@@ -136,8 +165,13 @@ def ungapped_extend_batch(
         return empty, empty.copy(), empty.copy()
     t = target.codes
     q = query.codes
-    matrix = scoring.matrix.astype(np.int64)
+    matrix = scoring.matrix64
     boundary_penalty = np.int64(-(xdrop + 1))
+    lanes = _lane_indices(k)
+    # One padded (k, max_length) slab serves both directions: every
+    # downstream array (cumsum, running max, masks) is a fresh allocation,
+    # so the left pass may overwrite the right pass's window in place.
+    score_slab = np.empty((k, max_length), dtype=np.int64)
 
     def direction_scores(offsets: np.ndarray) -> np.ndarray:
         t_idx = target_positions[:, None] + offsets[None, :]
@@ -148,9 +182,9 @@ def ungapped_extend_batch(
             & (q_idx >= 0)
             & (q_idx < len(query))
         )
-        scores = np.full(t_idx.shape, boundary_penalty, dtype=np.int64)
-        scores[valid] = matrix[t[t_idx[valid]], q[q_idx[valid]]]
-        return scores
+        score_slab.fill(boundary_penalty)
+        score_slab[valid] = matrix[t[t_idx[valid]], q[q_idx[valid]]]
+        return score_slab
 
     def best_under_xdrop(scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         cumulative = np.cumsum(scores, axis=1)
@@ -162,12 +196,11 @@ def ungapped_extend_batch(
         )
         masked = np.where(alive, cumulative, np.int64(-(2**42)))
         spans = np.argmax(masked, axis=1) + 1
-        best = np.maximum(masked[np.arange(k), spans - 1], 0)
+        best = np.maximum(masked[lanes, spans - 1], 0)
         spans = np.where(best > 0, spans, 0)
         return best, spans
 
-    offsets_right = np.arange(max_length, dtype=np.int64)
-    offsets_left = -np.arange(1, max_length + 1, dtype=np.int64)
+    offsets_right, offsets_left = _direction_offsets(max_length)
     right_best, right_spans = best_under_xdrop(
         direction_scores(offsets_right)
     )

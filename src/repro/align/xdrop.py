@@ -85,6 +85,7 @@ def xdrop_extend(
         )
 
     gap_slack = ydrop // max(1, scoring.gap_extend) + 1
+    sub_columns = _dp.substitution_columns(target, scoring)
 
     v_full = _dp.boundary_scores(m, scoring, free=False)
     u_full = np.full(m + 1, _dp.NEG_INF)
@@ -106,9 +107,7 @@ def xdrop_extend(
         hi = min(m, prev_last_live + 1 + gap_slack)
         if hi < lo:
             break
-        subs = scoring.row_scores(
-            query.codes[i - 1], target.codes[lo - 1 : hi]
-        ).astype(np.int64)
+        subs = sub_columns[query.codes[i - 1], lo - 1 : hi]
         left_boundary = (
             np.int64(-scoring.gap_cost(i)) if lo == 1 else _dp.NEG_INF
         )

@@ -62,14 +62,22 @@ class Chain:
 
 
 def _chain_strand(
-    blocks: List[Alignment], gap_costs: GapCosts, min_score: float
+    blocks: List[Alignment],
+    gap_costs: GapCosts,
+    min_score: float,
+    presorted: bool = False,
 ) -> List[Chain]:
-    """Chain colinear blocks of a single strand."""
+    """Chain colinear blocks of a single strand.
+
+    ``presorted=True`` promises the blocks already arrive ordered by
+    ``(target_start, query_start)`` and skips the re-sort.
+    """
     if not blocks:
         return []
-    blocks = sorted(
-        blocks, key=lambda a: (a.target_start, a.query_start)
-    )
+    if not presorted:
+        blocks = sorted(
+            blocks, key=lambda a: (a.target_start, a.query_start)
+        )
     n = len(blocks)
     t_start = np.array([b.target_start for b in blocks], dtype=np.int64)
     t_end = np.array([b.target_end for b in blocks], dtype=np.int64)
@@ -132,6 +140,7 @@ def build_chains(
     gap_costs: Optional[GapCosts] = None,
     min_score: float = 0.0,
     tracer=NULL_TRACER,
+    presorted: bool = False,
 ) -> List[Chain]:
     """Chain alignments into maximally scoring colinear sequences.
 
@@ -139,6 +148,12 @@ def build_chains(
     partition; the result is sorted by descending chain score.  A
     supplied tracer records one ``chain`` span with a
     ``chain_partition`` child per (target, query, strand) partition.
+
+    ``presorted=True`` is a fast path for pipeline callers whose
+    alignments are already ordered by ``(target_start, query_start)``
+    within each (target, query, strand) partition (partitioning preserves
+    relative order, so a globally sorted input qualifies); the per
+    partition re-sort is skipped.
     """
     if gap_costs is None:
         gap_costs = GapCosts.loose()
@@ -159,7 +174,9 @@ def build_chains(
                 query=key[1],
                 strand="+" if key[2] == 1 else "-",
             ) as part_span:
-                part_chains = _chain_strand(blocks, gap_costs, min_score)
+                part_chains = _chain_strand(
+                    blocks, gap_costs, min_score, presorted=presorted
+                )
                 part_span.inc("blocks", len(blocks))
                 part_span.inc("chains", len(part_chains))
             chains.extend(part_chains)

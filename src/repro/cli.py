@@ -110,6 +110,19 @@ def _add_align(subparsers) -> None:
         default=None,
         help="write a structured JSON trace of the run (see `repro trace`)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the extension stage "
+        "(output is byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--index-cache",
+        type=Path,
+        default=None,
+        help="directory for the persistent seed-index cache",
+    )
     parser.set_defaults(func=_cmd_align)
 
 
@@ -129,14 +142,28 @@ def _cmd_align(args) -> int:
     target = _load_single(args.target)
     query = _load_single(args.query)
     tracer = Tracer() if args.trace_out is not None else NULL_TRACER
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
     if args.aligner == "darwin":
         config = DarwinWGAConfig(both_strands=not args.plus_only)
-        result = DarwinWGA(config, tracer=tracer).align(target, query)
+        aligner = DarwinWGA(
+            config,
+            tracer=tracer,
+            workers=args.workers,
+            index_cache=args.index_cache,
+        )
     else:
         from .lastz import LastzConfig
 
         config = LastzConfig(both_strands=not args.plus_only)
-        result = LastzAligner(config, tracer=tracer).align(target, query)
+        aligner = LastzAligner(
+            config,
+            tracer=tracer,
+            workers=args.workers,
+            index_cache=args.index_cache,
+        )
+    with aligner:
+        result = aligner.align(target, query)
     workload = result.workload
     print(
         f"{len(result.alignments)} alignments "

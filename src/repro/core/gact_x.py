@@ -23,8 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from ..align.alignment import Alignment, AnchorHit
 from ..align.cigar import Cigar
 from ..align.scoring import ScoringScheme
@@ -97,7 +95,7 @@ def score_cigar(
     scoring: ScoringScheme,
 ) -> int:
     """Score an alignment path against the actual sequences."""
-    matrix = scoring.matrix.astype(np.int64)
+    matrix = scoring.matrix64
     ti, qi = target_start, query_start
     total = 0
     for op, length in cigar:

@@ -11,18 +11,32 @@ and consumed by the performance models in :mod:`repro.hw`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 
 from ..align.alignment import Alignment
 from ..genome.sequence import Sequence
+from ..obs.export import graft_span_dicts
 from ..obs.tracer import NULL_TRACER
+from ..parallel.engine import ExecutionEngine
+from ..parallel.extension import extend_anchors
+from ..parallel.worker import align_unit_task
+from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import dsoft_seed
 from ..seed.index import SeedIndex
 from .anchors import CoverageGrid
 from .config import DarwinWGAConfig
-from .gact_x import TileTrace, gact_x_extend
+from .gact_x import TileTrace
 from .gapped_filter import gapped_filter
+
+
+def _resolve_cache(
+    index_cache: Union[SeedIndexCache, str, Path, None],
+) -> Optional[SeedIndexCache]:
+    if index_cache is None or isinstance(index_cache, SeedIndexCache):
+        return index_cache
+    return SeedIndexCache(index_cache)
 
 
 @dataclass
@@ -73,15 +87,62 @@ class DarwinWGA:
     Pass a :class:`repro.obs.Tracer` to record per-stage spans (seed /
     filter / per-anchor extension); the default :data:`NULL_TRACER` makes
     instrumentation free.
+
+    ``workers > 1`` fans the extension stage out over a process pool
+    (deterministically — output is byte-identical to ``workers=1``);
+    an externally owned :class:`~repro.parallel.engine.ExecutionEngine`
+    may be passed instead to share one pool across aligners.
+    ``index_cache`` (a directory path or
+    :class:`~repro.seed.cache.SeedIndexCache`) persists seed indexes
+    across runs.  Aligners that own their engine should be closed
+    (:meth:`close` or a ``with`` block) when ``workers > 1``.
     """
 
     def __init__(
         self,
         config: Optional[DarwinWGAConfig] = None,
         tracer=None,
+        workers: int = 1,
+        engine: Optional[ExecutionEngine] = None,
+        index_cache: Union[SeedIndexCache, str, Path, None] = None,
     ) -> None:
         self.config = config or DarwinWGAConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.workers = engine.workers if engine is not None else workers
+        self.index_cache = _resolve_cache(index_cache)
+        self._engine = engine
+        self._owns_engine = False
+
+    @property
+    def engine(self) -> Optional[ExecutionEngine]:
+        """The execution engine, created lazily when ``workers > 1``."""
+        if self._engine is None and self.workers > 1:
+            self._engine = ExecutionEngine(self.workers)
+            self._owns_engine = True
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine if this aligner created it."""
+        if self._owns_engine and self._engine is not None:
+            self._engine.close()
+            self._engine = None
+            self._owns_engine = False
+
+    def __enter__(self) -> "DarwinWGA":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _build_index(self, target: Sequence) -> SeedIndex:
+        """Build (or load from the cache) the target's seed index."""
+        if self.index_cache is not None:
+            return self.index_cache.get_or_build(
+                target, self.config.seed, tracer=self.tracer
+            )
+        with self.tracer.span("build_index", target=target.name or "target"):
+            return SeedIndex.build(target, self.config.seed)
 
     def align(
         self,
@@ -107,8 +168,7 @@ class DarwinWGA:
             query_bp=len(query),
         ) as span:
             if index is None:
-                with tracer.span("build_index"):
-                    index = SeedIndex.build(target, config.seed)
+                index = self._build_index(target)
             strands = (1, -1) if config.both_strands else (1,)
             alignments: List[Alignment] = []
             workload = Workload()
@@ -163,47 +223,23 @@ class DarwinWGA:
         )
 
         grid = CoverageGrid(config.absorb_granularity)
-        alignments: List[Alignment] = []
-        seen_spans = set()
         # Extend best-filter-score first so absorption keeps the anchors
         # most likely to seed the strongest alignments.
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
         )
-        with tracer.span("extend") as extend_span:
-            for anchor in ordered:
-                if grid.absorbs(anchor):
-                    workload.absorbed_anchors += 1
-                    continue
-                extension = gact_x_extend(
-                    target,
-                    query,
-                    anchor,
-                    config.scoring,
-                    config.extension,
-                    tracer=tracer,
-                )
-                workload.extension_tiles += extension.tile_count
-                workload.extension_cells += extension.cells
-                workload.extension_tile_traces.extend(extension.tiles)
-                alignment = extension.alignment
-                if alignment is not None:
-                    span = (
-                        alignment.target_start,
-                        alignment.target_end,
-                        alignment.query_start,
-                        alignment.query_end,
-                    )
-                    grid.add_alignment(alignment)
-                    if span not in seen_spans:
-                        seen_spans.add(span)
-                        alignments.append(alignment)
-            extend_span.inc("extension_tiles", workload.extension_tiles)
-            extend_span.inc("extension_cells", workload.extension_cells)
-            extend_span.inc(
-                "absorbed_anchors", workload.absorbed_anchors
-            )
-            extend_span.inc("alignments", len(alignments))
+        alignments = extend_anchors(
+            target,
+            query,
+            ordered,
+            config.scoring,
+            config.extension,
+            grid,
+            workload,
+            tracer=tracer,
+            engine=self.engine,
+            keep_tile_traces=True,
+        )
         return WGAResult(alignments=alignments, workload=workload)
 
 
@@ -212,9 +248,14 @@ def align_pair(
     query: Sequence,
     config: Optional[DarwinWGAConfig] = None,
     tracer=None,
+    workers: int = 1,
+    index_cache=None,
 ) -> WGAResult:
     """One-call convenience wrapper around :class:`DarwinWGA`."""
-    return DarwinWGA(config, tracer=tracer).align(target, query)
+    with DarwinWGA(
+        config, tracer=tracer, workers=workers, index_cache=index_cache
+    ) as aligner:
+        return aligner.align(target, query)
 
 
 def align_assemblies(
@@ -223,6 +264,9 @@ def align_assemblies(
     config=None,
     aligner_class=DarwinWGA,
     tracer=None,
+    workers: int = 1,
+    engine: Optional[ExecutionEngine] = None,
+    index_cache: Union[SeedIndexCache, str, Path, None] = None,
 ) -> WGAResult:
     """Whole-assembly WGA: every target chromosome vs every query
     chromosome (the paper's actual task — its species have multiple
@@ -234,21 +278,98 @@ def align_assemblies(
     index is built once per target chromosome and shared across all
     query chromosomes (and both strands), so index construction cost is
     O(target) rather than O(target x queries).
+
+    ``workers > 1`` (or an external ``engine``) distributes whole
+    (target chromosome, query chromosome) units across worker processes
+    — units are gathered in submission order and the final sort is
+    stable, so the result is byte-identical to the serial run.  With an
+    ``index_cache`` the parent warms each target's seed index once and
+    workers load it from disk instead of rebuilding per unit.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
-    aligner = aligner_class(config, tracer=tracer)
+    cache = _resolve_cache(index_cache)
+    pool = engine
+    owns_engine = False
+    if pool is None and workers > 1:
+        pool = ExecutionEngine(workers)
+        owns_engine = True
+    try:
+        if pool is not None and pool.active:
+            return _align_assemblies_parallel(
+                target_assembly,
+                query_assembly,
+                config,
+                aligner_class,
+                tracer,
+                pool,
+                cache,
+            )
+        aligner = aligner_class(config, tracer=tracer, index_cache=cache)
+        alignments: List[Alignment] = []
+        workload = Workload()
+        with tracer.span("align_assemblies") as span:
+            for target in target_assembly:
+                index = aligner._build_index(target)
+                for query in query_assembly:
+                    result = aligner.align(target, query, index=index)
+                    alignments.extend(result.alignments)
+                    workload.merge(result.workload)
+                    span.inc("chromosome_pairs")
+        alignments.sort(key=lambda a: -a.score)
+        return WGAResult(alignments=alignments, workload=workload)
+    finally:
+        if owns_engine:
+            pool.close()
+
+
+def _align_assemblies_parallel(
+    target_assembly,
+    query_assembly,
+    config,
+    aligner_class,
+    tracer,
+    engine: ExecutionEngine,
+    cache: Optional[SeedIndexCache],
+) -> WGAResult:
+    """Fan (target chromosome, query chromosome) units over the engine.
+
+    Submission and result gathering both follow the serial iteration
+    order, and each unit is internally serial, so alignments, workload
+    counters and the final stable sort reproduce the serial run exactly.
+    """
+    traced = tracer.enabled
+    resolved_config = aligner_class().config if config is None else config
+    cache_dir = str(cache.directory) if cache is not None else None
     alignments: List[Alignment] = []
     workload = Workload()
     with tracer.span("align_assemblies") as span:
+        units = []
         for target in target_assembly:
-            with tracer.span(
-                "build_index", target=target.name or "target"
-            ):
-                index = SeedIndex.build(target, aligner.config.seed)
+            if cache is not None:
+                # Warm the on-disk index once per target so every worker
+                # unit loads it back as a cache hit.
+                cache.get_or_build(
+                    target, resolved_config.seed, tracer=tracer
+                )
+            target_handle = engine.share(target)
             for query in query_assembly:
-                result = aligner.align(target, query, index=index)
-                alignments.extend(result.alignments)
-                workload.merge(result.workload)
-                span.inc("chromosome_pairs")
+                base = tracer.now()
+                future = engine.submit(
+                    align_unit_task,
+                    aligner_class,
+                    resolved_config,
+                    target_handle,
+                    engine.share(query),
+                    cache_dir,
+                    traced,
+                )
+                units.append((future, base))
+        for future, base in units:
+            result, span_dicts = future.result()
+            if traced and span_dicts is not None:
+                graft_span_dicts(tracer, span_dicts, base=base)
+            alignments.extend(result.alignments)
+            workload.merge(result.workload)
+            span.inc("chromosome_pairs")
     alignments.sort(key=lambda a: -a.score)
     return WGAResult(alignments=alignments, workload=workload)

@@ -16,17 +16,20 @@ spans would be equivalent anyway — GACT-X's tiling exists to bound
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from ..align.alignment import Alignment
 from ..core.anchors import CoverageGrid
 from ..core.config import ExtensionParams
-from ..core.gact_x import gact_x_extend
-from ..core.pipeline import WGAResult, Workload
+from ..core.pipeline import WGAResult, Workload, _resolve_cache
 from ..align.matrices import lastz_default
 from ..align.scoring import ScoringScheme
 from ..genome.sequence import Sequence
 from ..obs.tracer import NULL_TRACER
+from ..parallel.engine import ExecutionEngine
+from ..parallel.extension import extend_anchors
+from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import all_seed_hits
 from ..seed.index import SeedIndex
 from ..seed.patterns import SpacedSeed
@@ -51,15 +54,61 @@ class LastzConfig:
 
 
 class LastzAligner:
-    """Seed / ungapped-filter / extend aligner in LASTZ's default mode."""
+    """Seed / ungapped-filter / extend aligner in LASTZ's default mode.
+
+    ``workers``/``engine``/``index_cache`` behave exactly as on
+    :class:`repro.core.pipeline.DarwinWGA`: the extension stage fans out
+    deterministically over a process pool, and seed indexes persist in a
+    content-addressed on-disk cache.
+    """
 
     def __init__(
         self,
         config: Optional[LastzConfig] = None,
         tracer=None,
+        workers: int = 1,
+        engine: Optional[ExecutionEngine] = None,
+        index_cache: Union[SeedIndexCache, str, Path, None] = None,
     ) -> None:
         self.config = config or LastzConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.workers = engine.workers if engine is not None else workers
+        self.index_cache = _resolve_cache(index_cache)
+        self._engine = engine
+        self._owns_engine = False
+
+    @property
+    def engine(self) -> Optional[ExecutionEngine]:
+        """The execution engine, created lazily when ``workers > 1``."""
+        if self._engine is None and self.workers > 1:
+            self._engine = ExecutionEngine(self.workers)
+            self._owns_engine = True
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine if this aligner created it."""
+        if self._owns_engine and self._engine is not None:
+            self._engine.close()
+            self._engine = None
+            self._owns_engine = False
+
+    def __enter__(self) -> "LastzAligner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _build_index(self, target: Sequence) -> SeedIndex:
+        """Build (or load from the cache) the target's seed index."""
+        if self.index_cache is not None:
+            return self.index_cache.get_or_build(
+                target, self.config.seed, tracer=self.tracer
+            )
+        with self.tracer.span(
+            "build_index", target=target.name or "target"
+        ):
+            return SeedIndex.build(target, self.config.seed)
 
     def align(
         self,
@@ -84,8 +133,7 @@ class LastzAligner:
             query_bp=len(query),
         ) as span:
             if index is None:
-                with tracer.span("build_index"):
-                    index = SeedIndex.build(target, config.seed)
+                index = self._build_index(target)
             strands = (1, -1) if config.both_strands else (1,)
             alignments: List[Alignment] = []
             workload = Workload()
@@ -145,44 +193,23 @@ class LastzAligner:
         )
 
         grid = CoverageGrid(config.absorb_granularity)
-        alignments: List[Alignment] = []
-        seen_spans = set()
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
         )
-        with tracer.span("extend") as extend_span:
-            for anchor in ordered:
-                if grid.absorbs(anchor):
-                    workload.absorbed_anchors += 1
-                    continue
-                extension = gact_x_extend(
-                    target,
-                    query,
-                    anchor,
-                    config.scoring,
-                    config.extension,
-                    tracer=tracer,
-                )
-                workload.extension_tiles += extension.tile_count
-                workload.extension_cells += extension.cells
-                alignment = extension.alignment
-                if alignment is not None:
-                    span = (
-                        alignment.target_start,
-                        alignment.target_end,
-                        alignment.query_start,
-                        alignment.query_end,
-                    )
-                    grid.add_alignment(alignment)
-                    if span not in seen_spans:
-                        seen_spans.add(span)
-                        alignments.append(alignment)
-            extend_span.inc("extension_tiles", workload.extension_tiles)
-            extend_span.inc("extension_cells", workload.extension_cells)
-            extend_span.inc(
-                "absorbed_anchors", workload.absorbed_anchors
-            )
-            extend_span.inc("alignments", len(alignments))
+        # LASTZ runs never feed the hardware model, so tile traces are
+        # not accumulated (matching the previous serial behaviour).
+        alignments = extend_anchors(
+            target,
+            query,
+            ordered,
+            config.scoring,
+            config.extension,
+            grid,
+            workload,
+            tracer=tracer,
+            engine=self.engine,
+            keep_tile_traces=False,
+        )
         return WGAResult(alignments=alignments, workload=workload)
 
 
@@ -191,6 +218,11 @@ def align_pair_lastz(
     query: Sequence,
     config: Optional[LastzConfig] = None,
     tracer=None,
+    workers: int = 1,
+    index_cache=None,
 ) -> WGAResult:
     """One-call convenience wrapper around :class:`LastzAligner`."""
-    return LastzAligner(config, tracer=tracer).align(target, query)
+    with LastzAligner(
+        config, tracer=tracer, workers=workers, index_cache=index_cache
+    ) as aligner:
+        return aligner.align(target, query)

@@ -25,10 +25,12 @@ from .metrics import (
     stage_summary,
 )
 from .export import (
+    graft_span_dicts,
     load_run_report,
     render_run,
     render_tree,
     run_report,
+    serialize_spans,
     spans_from_report,
     to_chrome_trace,
     write_chrome_trace,
@@ -46,6 +48,8 @@ __all__ = [
     "MetricRegistry",
     "funnel_metrics",
     "stage_summary",
+    "graft_span_dicts",
+    "serialize_spans",
     "load_run_report",
     "render_run",
     "render_tree",

@@ -23,10 +23,12 @@ from .tracer import Span, Tracer
 
 __all__ = [
     "REPORT_VERSION",
+    "graft_span_dicts",
     "load_run_report",
     "render_run",
     "render_tree",
     "run_report",
+    "serialize_spans",
     "spans_from_report",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -60,6 +62,51 @@ def _span_from_dict(data: Dict, tracer: Tracer) -> Span:
         _span_from_dict(c, tracer) for c in data.get("children", [])
     ]
     return span
+
+
+def serialize_spans(tracer: Tracer) -> List[Dict]:
+    """Pickle-friendly dicts of a tracer's root spans.
+
+    Start times are relative to the tracer's epoch, so a worker process
+    can serialize its local spans and the parent can
+    :func:`graft_span_dicts` them onto its own timeline.
+    """
+    return [_span_to_dict(s, tracer.epoch) for s in tracer.roots]
+
+
+def _shift_span(span: Span, offset: float) -> None:
+    if span.start is not None:
+        span.start += offset
+    if span.end is not None:
+        span.end += offset
+    for child in span.children:
+        _shift_span(child, offset)
+
+
+def graft_span_dicts(
+    tracer: Tracer,
+    span_dicts: List[Dict],
+    base: Optional[float] = None,
+) -> List[Span]:
+    """Attach serialized worker spans to a parent tracer.
+
+    ``base`` is the parent-timeline offset (seconds since the parent
+    tracer's epoch, i.e. a :meth:`~repro.obs.tracer.Tracer.now` value
+    captured when the remote work was dispatched) added to every span's
+    relative start.  The reconstructed spans are appended under the
+    parent's currently open span (or as new roots outside any span) and
+    returned in order.
+    """
+    spans = [_span_from_dict(d, tracer) for d in span_dicts]
+    offset = tracer.epoch + (0.0 if base is None else base)
+    for span in spans:
+        _shift_span(span, offset)
+    parent = tracer.current()
+    if parent is not None:
+        parent.children.extend(spans)
+    else:
+        tracer.roots.extend(spans)
+    return spans
 
 
 def run_report(

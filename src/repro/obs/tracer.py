@@ -118,6 +118,15 @@ class Tracer:
         """Create a span; entering it nests it under the open span."""
         return Span(name, self, attrs)
 
+    def now(self) -> float:
+        """Seconds since the tracer's epoch on its own clock.
+
+        Anchors spans recorded by a *different* tracer (e.g. a worker
+        process) onto this tracer's timeline: capture ``now()`` when the
+        remote work is dispatched and shift the returned spans by it.
+        """
+        return self._clock() - self.epoch
+
     def current(self) -> Optional[Span]:
         """The innermost open span, or None outside any span."""
         return self._stack[-1] if self._stack else None
@@ -195,6 +204,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def now(self) -> float:
+        return 0.0
 
     def current(self) -> None:
         return None

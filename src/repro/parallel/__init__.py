@@ -1,0 +1,23 @@
+"""Parallel execution engine: multiprocess fan-out of pipeline work.
+
+The paper's co-processor extracts its speedup from the independence of
+seed-filter-extend work items; this package is the software analogue —
+a :class:`~repro.parallel.engine.ExecutionEngine` (process pool plus
+shared-memory sequence transport) and deterministic orchestrators that
+fan anchors (:func:`~repro.parallel.extension.extend_anchors`) and
+chromosome-pair units out across it while keeping the output
+byte-identical to a serial run for any worker count.
+"""
+
+from .engine import ExecutionEngine, SequenceHandle
+from .extension import extend_anchors
+from .worker import align_unit_task, extend_batch_task, resolve_sequence
+
+__all__ = [
+    "ExecutionEngine",
+    "SequenceHandle",
+    "align_unit_task",
+    "extend_anchors",
+    "extend_batch_task",
+    "resolve_sequence",
+]

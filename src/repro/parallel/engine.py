@@ -1,0 +1,175 @@
+"""Multiprocess execution engine with shared-memory sequence transport.
+
+The pipelines are embarrassingly parallel across anchors, strands and
+chromosome pairs (the independence Darwin-WGA's co-processor exploits
+with thousands of concurrent tiles).  :class:`ExecutionEngine` wraps a
+:class:`concurrent.futures.ProcessPoolExecutor` with the two pieces the
+pipelines need on top of it:
+
+* **shared-memory sequences** — a genome's code array is published once
+  into :mod:`multiprocessing.shared_memory` and referenced by a small
+  picklable :class:`SequenceHandle`, so dispatching a batch of anchors
+  never re-pickles megabase arrays;
+* **batch sizing** — anchors are dispatched in chunks large enough to
+  amortise the per-task round trip but small enough to keep every
+  worker busy.
+
+Determinism is the callers' contract, not the engine's: result futures
+are always consumed in submission order (see
+:mod:`repro.parallel.extension`), so the engine itself only needs to be
+an ordinary pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from multiprocessing import shared_memory
+
+from ..genome.sequence import Sequence
+
+__all__ = ["ExecutionEngine", "SequenceHandle"]
+
+
+@dataclass(frozen=True)
+class SequenceHandle:
+    """A picklable reference to a sequence living in shared memory.
+
+    ``kind`` is ``"shm"`` (``payload`` is the shared-memory block name)
+    or ``"bytes"`` (``payload`` carries the raw code bytes inline — the
+    fallback used when a platform offers no shared memory).
+    """
+
+    kind: str
+    payload: object
+    length: int
+    name: Optional[str]
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the warm interpreter) over spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ExecutionEngine:
+    """A process pool plus shared-memory sequence registry.
+
+    ``workers=1`` is a valid configuration: the engine reports itself
+    inactive (:attr:`active` is False) and callers fall back to their
+    serial code path, so one code path covers ``--workers N`` for all N.
+
+    The engine owns every shared-memory block it publishes; call
+    :meth:`close` (or use the engine as a context manager) to release
+    the pool and unlink the blocks.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._context = mp_context or _default_context()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._handles: Dict[int, SequenceHandle] = {}
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether work should actually fan out (more than one worker)."""
+        return self.workers > 1 and not self._closed
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory block."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._blocks.clear()
+        self._handles.clear()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- sequence transport ------------------------------------------
+    def share(self, seq: Sequence) -> SequenceHandle:
+        """Publish ``seq`` to workers; repeated calls reuse the block.
+
+        Deduplication is by object identity — the pipelines hold onto
+        their Sequence objects for a whole run, so each genome is copied
+        into shared memory exactly once.
+        """
+        handle = self._handles.get(id(seq))
+        if handle is not None:
+            return handle
+        codes = seq.codes
+        try:
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, codes.nbytes)
+            )
+        except (OSError, FileNotFoundError):
+            # No usable /dev/shm: fall back to shipping bytes inline.
+            handle = SequenceHandle(
+                kind="bytes",
+                payload=codes.tobytes(),
+                length=len(seq),
+                name=seq.name,
+            )
+        else:
+            block.buf[: codes.nbytes] = codes.tobytes()
+            self._blocks.append(block)
+            handle = SequenceHandle(
+                kind="shm",
+                payload=block.name,
+                length=len(seq),
+                name=seq.name,
+            )
+        self._handles[id(seq)] = handle
+        return handle
+
+    # -- dispatch ----------------------------------------------------
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Submit one task to the pool."""
+        return self._pool().submit(fn, *args, **kwargs)
+
+    def batch_size_for(self, items: int, chunk_size: int = 0) -> int:
+        """Anchors per dispatched batch.
+
+        An explicit ``chunk_size`` wins; otherwise aim for ~8 batches
+        per worker (so stragglers rebalance) capped at 32 anchors per
+        round trip.
+        """
+        if chunk_size > 0:
+            return chunk_size
+        return max(1, min(32, items // (self.workers * 8) or 1))

@@ -1,0 +1,231 @@
+"""Deterministic parallel anchor extension.
+
+The extension stage is *almost* embarrassingly parallel: each anchor's
+GACT-X extension is independent, but the pipelines consult a
+:class:`~repro.core.anchors.CoverageGrid` so anchors already covered by
+an earlier (higher filter score) alignment are absorbed without being
+extended.  That check is a serial dependency, so a naive fan-out would
+change which anchors are extended.
+
+:func:`extend_anchors` keeps the serial semantics exactly — byte for
+byte, for any worker count — with **speculative dispatch and in-order
+replay**:
+
+* batches are formed in serial anchor order, pre-filtering anchors the
+  grid *already* absorbs at formation time.  The grid only ever grows,
+  so an anchor absorbed against today's partial grid would also be
+  absorbed by the serial run's (larger) grid at its turn — the skip is
+  always correct;
+* up to ``workers + 1`` batches are in flight; the oldest batch is then
+  *replayed* in submission order: each result re-checks ``absorbs``
+  against the now-complete grid, and results whose anchors were
+  absorbed in the meantime are dropped — together with their worker
+  spans and counters, so workload accounting and the trace funnel both
+  match the serial run exactly;
+* the replayed commit path (dedup by span, ``grid.add_alignment``) is
+  literally the serial loop body, so ordering-sensitive state evolves
+  identically.
+
+Speculation wastes only the extensions of anchors that a concurrent
+batch absorbs — a small tax (absorbed anchors are the cheap, already
+covered ones) for keeping the output bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..align.alignment import Alignment
+from ..obs.export import graft_span_dicts
+from ..obs.tracer import NULL_TRACER
+from .engine import ExecutionEngine
+from .worker import extend_batch_task
+
+__all__ = ["extend_anchors"]
+
+
+def extend_anchors(
+    target,
+    query,
+    anchors,
+    scoring,
+    params,
+    grid,
+    workload,
+    tracer=NULL_TRACER,
+    engine: Optional[ExecutionEngine] = None,
+    keep_tile_traces: bool = True,
+) -> List[Alignment]:
+    """Extend ``anchors`` (already in serial priority order) with GACT-X.
+
+    Mutates ``grid`` and ``workload`` exactly as the serial loop would
+    and returns the alignments in serial order.  With an active
+    ``engine`` the per-anchor extensions run in worker processes; the
+    result is identical either way.
+    """
+    with tracer.span("extend") as extend_span:
+        if engine is not None and engine.active and len(anchors) > 1:
+            alignments = _extend_parallel(
+                target,
+                query,
+                anchors,
+                scoring,
+                params,
+                grid,
+                workload,
+                tracer,
+                engine,
+                keep_tile_traces,
+            )
+        else:
+            alignments = _extend_serial(
+                target,
+                query,
+                anchors,
+                scoring,
+                params,
+                grid,
+                workload,
+                tracer,
+                keep_tile_traces,
+            )
+        extend_span.inc("extension_tiles", workload.extension_tiles)
+        extend_span.inc("extension_cells", workload.extension_cells)
+        extend_span.inc("absorbed_anchors", workload.absorbed_anchors)
+        extend_span.inc("alignments", len(alignments))
+        return alignments
+
+
+def _commit(
+    extension, grid, workload, alignments, seen_spans, keep_tile_traces
+) -> None:
+    """The serial loop body for one surviving extension result."""
+    workload.extension_tiles += extension.tile_count
+    workload.extension_cells += extension.cells
+    if keep_tile_traces:
+        workload.extension_tile_traces.extend(extension.tiles)
+    alignment = extension.alignment
+    if alignment is not None:
+        span = (
+            alignment.target_start,
+            alignment.target_end,
+            alignment.query_start,
+            alignment.query_end,
+        )
+        grid.add_alignment(alignment)
+        if span not in seen_spans:
+            seen_spans.add(span)
+            alignments.append(alignment)
+
+
+def _extend_serial(
+    target,
+    query,
+    anchors,
+    scoring,
+    params,
+    grid,
+    workload,
+    tracer,
+    keep_tile_traces,
+) -> List[Alignment]:
+    from ..core.gact_x import gact_x_extend
+
+    alignments: List[Alignment] = []
+    seen_spans: set = set()
+    for anchor in anchors:
+        if grid.absorbs(anchor):
+            workload.absorbed_anchors += 1
+            continue
+        extension = gact_x_extend(
+            target, query, anchor, scoring, params, tracer=tracer
+        )
+        _commit(
+            extension,
+            grid,
+            workload,
+            alignments,
+            seen_spans,
+            keep_tile_traces,
+        )
+    return alignments
+
+
+def _extend_parallel(
+    target,
+    query,
+    anchors,
+    scoring,
+    params,
+    grid,
+    workload,
+    tracer,
+    engine: ExecutionEngine,
+    keep_tile_traces,
+) -> List[Alignment]:
+    traced = tracer.enabled
+    target_handle = engine.share(target)
+    query_handle = engine.share(query)
+    batch_size = engine.batch_size_for(len(anchors))
+    max_in_flight = engine.workers + 1
+
+    alignments: List[Alignment] = []
+    seen_spans: set = set()
+    in_flight: deque = deque()
+    position = 0
+
+    def form_batch() -> tuple:
+        """Next batch in serial order, skipping already-absorbed anchors."""
+        nonlocal position
+        batch = []
+        while position < len(anchors) and len(batch) < batch_size:
+            anchor = anchors[position]
+            position += 1
+            if grid.absorbs(anchor):
+                workload.absorbed_anchors += 1
+                continue
+            batch.append(anchor)
+        return tuple(batch)
+
+    def dispatch() -> None:
+        while position < len(anchors) and len(in_flight) < max_in_flight:
+            batch = form_batch()
+            if not batch:
+                continue
+            base = tracer.now()
+            future = engine.submit(
+                extend_batch_task,
+                target_handle,
+                query_handle,
+                batch,
+                scoring,
+                params,
+                traced,
+            )
+            in_flight.append((batch, future, base))
+
+    dispatch()
+    while in_flight:
+        batch, future, base = in_flight.popleft()
+        results, span_dicts = future.result()
+        for slot, (anchor, extension) in enumerate(zip(batch, results)):
+            # Replay in submission order: a batch dispatched while this
+            # one was running may have been formed before these results
+            # landed in the grid, so the absorption check is repeated —
+            # absorbed results are dropped, spans and counters included.
+            if grid.absorbs(anchor):
+                workload.absorbed_anchors += 1
+                continue
+            if traced and span_dicts is not None:
+                graft_span_dicts(tracer, [span_dicts[slot]], base=base)
+            _commit(
+                extension,
+                grid,
+                workload,
+                alignments,
+                seen_spans,
+                keep_tile_traces,
+            )
+        dispatch()
+    return alignments

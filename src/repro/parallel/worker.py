@@ -1,0 +1,107 @@
+"""Task functions executed inside worker processes.
+
+Everything here is a module-level function (picklable by reference) that
+receives :class:`~repro.parallel.engine.SequenceHandle` objects instead
+of sequences, attaches the shared-memory blocks once per process, and —
+when the parent is tracing — records its work on a worker-local
+:class:`~repro.obs.tracer.Tracer` whose spans travel back as plain
+dicts for the parent to graft onto its own timeline.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from ..obs.export import serialize_spans
+from ..obs.tracer import NULL_TRACER, Tracer
+from .engine import SequenceHandle
+
+__all__ = ["align_unit_task", "extend_batch_task", "resolve_sequence"]
+
+#: Shared-memory attachments held for the worker's lifetime, keyed by
+#: block name.  Attaching once per process (not per task) keeps the
+#: per-batch dispatch cost at a dictionary lookup.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def resolve_sequence(handle: SequenceHandle) -> Sequence:
+    """Materialise a :class:`Sequence` from its transport handle."""
+    if handle.kind == "bytes":
+        codes = np.frombuffer(handle.payload, dtype=np.uint8)
+        return Sequence(codes[: handle.length], name=handle.name)
+    if handle.kind != "shm":
+        raise ValueError(f"unknown sequence handle kind {handle.kind!r}")
+    cached = _ATTACHED.get(handle.payload)
+    if cached is None:
+        block = shared_memory.SharedMemory(name=handle.payload)
+        codes = np.frombuffer(block.buf, dtype=np.uint8)
+        _ATTACHED[handle.payload] = (block, codes)
+    else:
+        codes = cached[1]
+    return Sequence(codes[: handle.length], name=handle.name)
+
+
+def _worker_tracer(traced: bool) -> Tracer:
+    return Tracer() if traced else NULL_TRACER
+
+
+def extend_batch_task(
+    target_handle: SequenceHandle,
+    query_handle: SequenceHandle,
+    anchors: tuple,
+    scoring,
+    params,
+    traced: bool,
+) -> Tuple[list, Optional[List[dict]]]:
+    """Speculatively extend a batch of anchors.
+
+    Returns the per-anchor :class:`~repro.core.gact_x.ExtensionResult`
+    list plus (when ``traced``) one serialized ``extend_anchor`` span
+    dict per anchor, parallel to the results, so the parent can graft
+    exactly the spans of anchors that survive the absorption replay.
+    """
+    from ..core.gact_x import gact_x_extend
+
+    target = resolve_sequence(target_handle)
+    query = resolve_sequence(query_handle)
+    tracer = _worker_tracer(traced)
+    results = [
+        gact_x_extend(target, query, anchor, scoring, params, tracer=tracer)
+        for anchor in anchors
+    ]
+    span_dicts = serialize_spans(tracer) if traced else None
+    return results, span_dicts
+
+
+def align_unit_task(
+    aligner_class,
+    config,
+    target_handle: SequenceHandle,
+    query_handle: SequenceHandle,
+    index_cache_dir: Optional[str],
+    traced: bool,
+) -> Tuple[object, Optional[List[dict]]]:
+    """Align one (target chromosome, query chromosome) unit serially.
+
+    Both strands run inside the worker; with an index-cache directory
+    the worker loads the target's seed index from disk (the parent warms
+    the cache first, so this is a hit) instead of rebuilding it.
+    """
+    target = resolve_sequence(target_handle)
+    query = resolve_sequence(query_handle)
+    tracer = _worker_tracer(traced)
+    aligner = aligner_class(config, tracer=tracer)
+    index = None
+    if index_cache_dir is not None:
+        from ..seed.cache import SeedIndexCache
+
+        index = SeedIndexCache(index_cache_dir).get_or_build(
+            target, aligner.config.seed, tracer=tracer
+        )
+    result = aligner.align(target, query, index=index)
+    span_dicts = serialize_spans(tracer) if traced else None
+    return result, span_dicts

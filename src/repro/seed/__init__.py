@@ -13,10 +13,14 @@ from .dsoft import (
     dsoft_seed,
     query_seed_words,
 )
+from .cache import CACHE_VERSION, SeedIndexCache, index_cache_key
 from .index import SeedIndex
 from .patterns import DEFAULT_PATTERN, SpacedSeed
 
 __all__ = [
+    "CACHE_VERSION",
+    "SeedIndexCache",
+    "index_cache_key",
     "compare_patterns",
     "expected_random_hits",
     "hit_probability",

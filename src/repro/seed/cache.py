@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache of seed indexes.
+
+Building the :class:`~repro.seed.index.SeedIndex` is pure in the target
+sequence and the seed pattern, so repeated runs over the same genomes
+(benchmarks, parameter sweeps, and — crucially — every worker process of
+a parallel run) can load the sorted word/position tables from disk
+instead of rebuilding them.  Entries are ``.npz`` files named by a
+SHA-256 over the target's code array and the seed parameters;
+:data:`CACHE_VERSION` is mixed into the key, so bumping it when the
+index layout changes invalidates every stale entry without any cleanup
+logic.  Writes are atomic (temp file + ``os.replace``) so concurrent
+processes warming the same key never observe a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
+from .index import SeedIndex
+from .patterns import SpacedSeed
+
+__all__ = ["CACHE_VERSION", "SeedIndexCache", "index_cache_key"]
+
+#: Bump when the on-disk entry layout or SeedIndex.build output changes.
+CACHE_VERSION = 1
+
+
+def index_cache_key(target: Sequence, seed: SpacedSeed) -> str:
+    """Content hash identifying one (target, seed, format) combination."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION}".encode())
+    digest.update(b"|")
+    digest.update(seed.pattern.encode())
+    digest.update(b"|")
+    digest.update(b"t" if seed.transitions else b"n")
+    digest.update(b"|")
+    digest.update(target.codes.tobytes())
+    return digest.hexdigest()
+
+
+class SeedIndexCache:
+    """Directory of cached seed indexes, keyed by content hash.
+
+    The cache only stores the arrays; the :class:`SpacedSeed` itself is
+    re-supplied by the caller (it is part of the key, so a loaded entry
+    always matches).  Corrupted or unreadable entries are treated as
+    misses and rebuilt in place.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"seedindex-{key}.npz"
+
+    def load(
+        self, target: Sequence, seed: SpacedSeed
+    ) -> Optional[SeedIndex]:
+        """The cached index for ``(target, seed)``, or None on a miss."""
+        path = self._entry_path(index_cache_key(target, seed))
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as entry:
+                index = SeedIndex(
+                    seed=seed,
+                    sorted_words=entry["sorted_words"],
+                    sorted_positions=entry["sorted_positions"],
+                    target_length=int(entry["target_length"]),
+                )
+        except (OSError, ValueError, KeyError, EOFError):
+            # Torn or truncated entry (e.g. an interrupted writer before
+            # atomic replace existed in the tree): drop and rebuild.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if index.target_length != len(target):
+            return None
+        return index
+
+    def store(
+        self, target: Sequence, seed: SpacedSeed, index: SeedIndex
+    ) -> Path:
+        """Persist ``index`` under the content key; atomic vs. readers."""
+        path = self._entry_path(index_cache_key(target, seed))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    sorted_words=index.sorted_words,
+                    sorted_positions=index.sorted_positions,
+                    target_length=np.int64(index.target_length),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_build(
+        self,
+        target: Sequence,
+        seed: SpacedSeed,
+        tracer=NULL_TRACER,
+    ) -> SeedIndex:
+        """Load the index from the cache, building and storing on a miss.
+
+        Records a ``build_index`` span with a ``cache`` attribute of
+        ``hit`` or ``miss``, so traces show exactly when a warm cache
+        removed the build cost.
+        """
+        with tracer.span("build_index", target=target.name) as span:
+            index = self.load(target, seed)
+            if index is not None:
+                self.hits += 1
+                span.set(cache="hit")
+                return index
+            self.misses += 1
+            span.set(cache="miss")
+            index = SeedIndex.build(target, seed)
+            span.inc("indexed_positions", index.size)
+            self.store(target, seed, index)
+            return index

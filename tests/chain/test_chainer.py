@@ -110,3 +110,41 @@ class TestChainProperties:
         blocks = [block(0, 0, 30, 500)]
         (chain,) = build_chains(blocks)
         assert chain.aligned_pairs == 30
+
+
+class TestPresortedFastPath:
+    def _blocks(self):
+        specs = [
+            (300, 300, 80, 900, 1, ("t", "q")),
+            (0, 0, 100, 1000, 1, ("t", "q")),
+            (150, 160, 60, 700, -1, ("t", "q")),
+            (500, 520, 90, 800, 1, ("t2", "q")),
+            (120, 130, 70, 600, 1, ("t", "q")),
+        ]
+        return [
+            block(t, q, ln, s, strand=st, names=n)
+            for t, q, ln, s, st, n in specs
+        ]
+
+    def test_presorted_matches_default(self):
+        blocks = self._blocks()
+        # A stable global sort on (partition key, target, query) makes
+        # every partition arrive in the order the chainer would sort to.
+        ordered = sorted(
+            blocks,
+            key=lambda a: (
+                a.target_name,
+                a.query_name,
+                a.strand,
+                a.target_start,
+                a.query_start,
+            ),
+        )
+        assert build_chains(ordered, presorted=True) == build_chains(blocks)
+
+    def test_unsorted_input_without_flag_still_sorted(self):
+        blocks = self._blocks()
+        chains = build_chains(blocks)
+        for chain in chains:
+            starts = [b.target_start for b in chain.blocks]
+            assert starts == sorted(starts)

@@ -1,0 +1,96 @@
+"""Seed-index cache: hit/miss accounting, invalidation, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.genome import Sequence, markov_genome
+from repro.seed import SeedIndex, SeedIndexCache, SpacedSeed, index_cache_key
+from repro.seed import cache as cache_module
+
+
+@pytest.fixture
+def target(rng):
+    return Sequence(markov_genome(4000, rng).codes, name="t")
+
+
+@pytest.fixture
+def seed():
+    return SpacedSeed()
+
+
+class TestSeedIndexCache:
+    def test_miss_then_hit(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        built = cache.get_or_build(target, seed)
+        assert (cache.misses, cache.hits) == (1, 0)
+        loaded = cache.get_or_build(target, seed)
+        assert (cache.misses, cache.hits) == (1, 1)
+        np.testing.assert_array_equal(
+            built.sorted_words, loaded.sorted_words
+        )
+        np.testing.assert_array_equal(
+            built.sorted_positions, loaded.sorted_positions
+        )
+        assert loaded.target_length == len(target)
+        assert loaded.seed == seed
+
+    def test_loaded_index_matches_fresh_build(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        loaded = cache.load(target, seed)
+        fresh = SeedIndex.build(target, seed)
+        np.testing.assert_array_equal(
+            loaded.sorted_words, fresh.sorted_words
+        )
+        np.testing.assert_array_equal(
+            loaded.sorted_positions, fresh.sorted_positions
+        )
+
+    def test_key_separates_sequences_and_seeds(self, rng, target):
+        other = Sequence(markov_genome(4000, rng).codes, name="u")
+        wide = SpacedSeed(pattern="111010011001010111011")
+        base = index_cache_key(target, SpacedSeed())
+        assert index_cache_key(other, SpacedSeed()) != base
+        assert index_cache_key(target, wide) != base
+        assert (
+            index_cache_key(target, SpacedSeed(transitions=False)) != base
+        )
+
+    def test_different_seed_is_a_miss(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        assert cache.load(target, SpacedSeed(transitions=False)) is None
+
+    def test_version_bump_invalidates(
+        self, tmp_path, target, seed, monkeypatch
+    ):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        monkeypatch.setattr(
+            cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1
+        )
+        assert cache.load(target, seed) is None
+        cache.get_or_build(target, seed)
+        assert cache.misses == 2
+
+    def test_corrupted_entry_rebuilds(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        (entry,) = tmp_path.glob("seedindex-*.npz")
+        entry.write_bytes(b"not a numpy archive")
+        assert cache.load(target, seed) is None
+        rebuilt = cache.get_or_build(target, seed)
+        fresh = SeedIndex.build(target, seed)
+        np.testing.assert_array_equal(
+            rebuilt.sorted_words, fresh.sorted_words
+        )
+
+    def test_records_cache_attribute_on_span(self, tmp_path, target, seed):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed, tracer=tracer)
+        cache.get_or_build(target, seed, tracer=tracer)
+        spans = [s for s in tracer.walk() if s.name == "build_index"]
+        assert [s.attrs["cache"] for s in spans] == ["miss", "hit"]
