@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run the lint pass."""
+
+from .app import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Finding model for the project's static-analysis pass.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col``
+location.  Findings are plain data — rendering lives in
+:mod:`repro.analysis.report` and policy (what fails CI) in the engine:
+*any* unsuppressed finding fails, severity is a triage label.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """Triage label for a finding (both levels gate ``repro lint``)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

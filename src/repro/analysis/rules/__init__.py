@@ -1,0 +1,12 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule id blocks:
+
+* ``DET0xx`` — determinism (RNG seeding, wall clocks, set ordering)
+* ``LAY0xx`` — layering / import-graph DAG
+* ``KER0xx`` — DP-kernel and general hygiene
+* ``PAR0xx`` — parallel-dispatch pickling safety
+* ``SUP0xx`` / ``PARSE`` — engine-reserved (see ``registry.ENGINE_RULES``)
+"""
+
+from . import determinism, kernel, layering, parallel  # noqa: F401

@@ -1,0 +1,237 @@
+"""DP-kernel hygiene and general code-health rules.
+
+The kernel rules encode what Scrooge-style aligner work keeps
+re-learning: score accumulators in narrow dtypes overflow silently on
+long tiles, and a Python-level loop over *both* sequence axes turns an
+O(n*m) kernel into an interpreter benchmark.  The general rules
+(mutable defaults, bare except, stray print) apply across the whole
+tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import import_aliases, resolve_origin
+from ..findings import Finding, Severity
+from ..registry import module_rule
+
+#: Signed narrow integer / half-float dtypes that overflow as DP score
+#: accumulators.  Unsigned 8/16-bit stay legal: they carry base codes
+#: and traceback pointers, which never accumulate.
+_NARROW_DTYPES = {"int8", "int16", "float16"}
+
+_ALLOCATORS = {
+    f"numpy.{name}"
+    for name in (
+        "array",
+        "asarray",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "ones",
+        "ones_like",
+        "zeros",
+        "zeros_like",
+    )
+}
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "collections.defaultdict",
+    "collections.deque",
+    "collections.OrderedDict",
+    "collections.Counter",
+}
+
+
+def _in_align_kernels(module) -> bool:
+    return module.modname.startswith("repro.align")
+
+
+def _dtype_token(node: ast.AST, aliases) -> str:
+    """Normalise a dtype expression to its bare name ("int16")."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    origin = resolve_origin(node, aliases)
+    if origin and origin.startswith("numpy."):
+        return origin[len("numpy."):]
+    return ""
+
+
+@module_rule(
+    "KER001",
+    "narrow-dp-dtype",
+    Severity.ERROR,
+    "narrow signed dtype for an alignment-kernel array (overflow risk)",
+)
+def check_narrow_dtype(module) -> Iterator[Finding]:
+    if not _in_align_kernels(module):
+        return
+    aliases = import_aliases(module.tree, module.modname)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = resolve_origin(node.func, aliases)
+        dtype_expr = None
+        if origin in _ALLOCATORS:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    dtype_expr = keyword.value
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            dtype_expr = node.args[0]
+        if dtype_expr is None:
+            continue
+        token = _dtype_token(dtype_expr, aliases)
+        if token in _NARROW_DTYPES:
+            yield Finding(
+                rule="KER001",
+                severity=Severity.ERROR,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"dtype {token} in an alignment kernel — DP scores "
+                    "accumulate past 16-bit range on long tiles; use "
+                    "int32/int64 (uint8/16 remain fine for codes and "
+                    "traceback pointers)"
+                ),
+            )
+
+
+def _is_range_loop(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.For)
+        and isinstance(node.iter, ast.Call)
+        and isinstance(node.iter.func, ast.Name)
+        and node.iter.func.id == "range"
+    )
+
+
+@module_rule(
+    "KER002",
+    "nested-dp-loop",
+    Severity.WARNING,
+    "Python-level loop over both sequence axes in an alignment kernel",
+)
+def check_nested_loop(module) -> Iterator[Finding]:
+    if not _in_align_kernels(module):
+        return
+    for node in ast.walk(module.tree):
+        if not _is_range_loop(node):
+            continue
+        for inner in ast.walk(node):
+            if inner is node or not _is_range_loop(inner):
+                continue
+            yield Finding(
+                rule="KER002",
+                severity=Severity.WARNING,
+                path=module.path,
+                line=inner.lineno,
+                col=inner.col_offset,
+                message=(
+                    "range-loop nested inside a range-loop in an "
+                    "alignment kernel — vectorise the inner axis "
+                    "(row-wise numpy, see align/_dp.py)"
+                ),
+            )
+
+
+@module_rule(
+    "KER003",
+    "mutable-default",
+    Severity.ERROR,
+    "mutable default argument",
+)
+def check_mutable_default(module) -> Iterator[Finding]:
+    aliases = import_aliases(module.tree, module.modname)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default
+            for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp,
+                 ast.DictComp),
+            )
+            if isinstance(default, ast.Call):
+                origin = resolve_origin(default.func, aliases)
+                mutable = origin in _MUTABLE_CALLS
+            if mutable:
+                yield Finding(
+                    rule="KER003",
+                    severity=Severity.ERROR,
+                    path=module.path,
+                    line=default.lineno,
+                    col=default.col_offset,
+                    message=(
+                        f"mutable default argument in {node.name}() — "
+                        "shared across calls; default to None and "
+                        "create inside"
+                    ),
+                )
+
+
+@module_rule(
+    "KER004",
+    "bare-except",
+    Severity.ERROR,
+    "bare except clause",
+)
+def check_bare_except(module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                rule="KER004",
+                severity=Severity.ERROR,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "bare except swallows KeyboardInterrupt/SystemExit "
+                    "— catch Exception (or narrower) instead"
+                ),
+            )
+
+
+@module_rule(
+    "KER005",
+    "stray-print",
+    Severity.ERROR,
+    "print() in library code (outside repro.cli)",
+)
+def check_stray_print(module) -> Iterator[Finding]:
+    if not module.modname.startswith("repro"):
+        return
+    if module.modname == "repro.cli":
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield Finding(
+                rule="KER005",
+                severity=Severity.ERROR,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "print() in library code — return/log data instead; "
+                    "user-facing output belongs to the CLI layer"
+                ),
+            )

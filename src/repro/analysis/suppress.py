@@ -1,0 +1,145 @@
+"""Suppression comments for :mod:`repro.analysis` findings.
+
+Two forms, both requiring a written reason (a reasonless suppression is
+itself a finding, ``SUP001``)::
+
+    x = weird_but_ok()  # repro: allow[DET004] frozen config, order-free
+    # repro: allow[KER002] traceback walk is O(path), not O(n*m)
+    for i in range(n):
+        ...
+    # repro: allow-file[KER005] command-line entry point output
+
+``allow[...]`` scopes to its own physical line when it trails code, or
+to the next line when it stands alone; ``allow-file[...]`` scopes to the
+whole file.  Multiple rule ids are comma-separated.  Unknown rule ids
+are flagged (``SUP002``) so typos cannot silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from .findings import Finding, Severity
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*(?P<form>allow-file|allow)\s*"
+    r"\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    col: int
+    form: str  # "allow" | "allow-file"
+    rules: Tuple[str, ...]
+    reason: str
+    standalone: bool  # nothing but whitespace precedes the comment
+
+
+@dataclass
+class Suppressions:
+    """All suppression directives of one file, with scope resolution."""
+
+    comments: List[SuppressionComment] = field(default_factory=list)
+    _by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    _file_wide: Set[str] = field(default_factory=set)
+
+    def add(self, comment: SuppressionComment) -> None:
+        self.comments.append(comment)
+        if comment.form == "allow-file":
+            self._file_wide.update(comment.rules)
+            return
+        target = comment.line + 1 if comment.standalone else comment.line
+        self._by_line.setdefault(target, set()).update(comment.rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_wide:
+            return True
+        return rule in self._by_line.get(line, ())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression comment from ``source``.
+
+    Tolerates files that do not tokenize (the engine reports those as
+    parse errors separately) by returning an empty table.
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        line, col = token.start
+        prefix = token.line[:col]
+        suppressions.add(
+            SuppressionComment(
+                line=line,
+                col=col,
+                form=match.group("form"),
+                rules=rules,
+                reason=match.group("reason").strip(),
+                standalone=not prefix.strip(),
+            )
+        )
+    return suppressions
+
+
+def lint_suppressions(
+    path: str, suppressions: Suppressions, known_rules: Sequence[str]
+) -> Iterator[Finding]:
+    """Meta-lint the suppression comments themselves.
+
+    ``SUP001`` (missing reason) and ``SUP002`` (unknown rule id) are not
+    themselves suppressible — a suppression must stand on its own.
+    """
+    known = set(known_rules)
+    for comment in suppressions.comments:
+        if not comment.reason:
+            yield Finding(
+                rule="SUP001",
+                severity=Severity.ERROR,
+                path=path,
+                line=comment.line,
+                col=comment.col,
+                message=(
+                    "suppression without a reason: write "
+                    "`# repro: allow[RULE] <why this is intentional>`"
+                ),
+            )
+        if not comment.rules:
+            yield Finding(
+                rule="SUP002",
+                severity=Severity.ERROR,
+                path=path,
+                line=comment.line,
+                col=comment.col,
+                message="suppression lists no rule ids",
+            )
+        for rule in comment.rules:
+            if rule not in known:
+                yield Finding(
+                    rule="SUP002",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=comment.line,
+                    col=comment.col,
+                    message=f"suppression names unknown rule {rule!r}",
+                )

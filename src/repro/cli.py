@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .analysis.app import add_lint_arguments, run_lint
 from .chain import GapCosts, build_chains, top_chain_scores, total_matches
 from .core import DarwinWGA, DarwinWGAConfig, Workload
 from .genome import make_species_pair, read_fasta, write_fasta
@@ -411,6 +412,16 @@ def _cmd_tblastx(args) -> int:
     return 0
 
 
+def _add_lint(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="project-specific static analysis (determinism / layering "
+        "/ kernel invariants)",
+    )
+    add_lint_arguments(parser)
+    parser.set_defaults(func=run_lint)
+
+
 def _add_trace(subparsers) -> None:
     parser = subparsers.add_parser(
         "trace",
@@ -463,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_net(subparsers)
     _add_tblastx(subparsers)
     _add_trace(subparsers)
+    _add_lint(subparsers)
     return parser
 
 

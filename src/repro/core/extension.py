@@ -34,13 +34,16 @@ covered ones) for keeping the output bit-identical.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..align.alignment import Alignment
 from ..obs.export import graft_span_dicts
 from ..obs.tracer import NULL_TRACER
-from .engine import ExecutionEngine
+from .gact_x import gact_x_extend
 from .worker import extend_batch_task
+
+if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
+    from ..parallel.engine import ExecutionEngine
 
 __all__ = ["extend_anchors"]
 
@@ -130,8 +133,6 @@ def _extend_serial(
     tracer,
     keep_tile_traces,
 ) -> List[Alignment]:
-    from ..core.gact_x import gact_x_extend
-
     alignments: List[Alignment] = []
     seen_spans: set = set()
     for anchor in anchors:

@@ -12,23 +12,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 
 from ..align.alignment import Alignment
 from ..genome.sequence import Sequence
 from ..obs.export import graft_span_dicts
 from ..obs.tracer import NULL_TRACER
-from ..parallel.engine import ExecutionEngine
-from ..parallel.extension import extend_anchors
-from ..parallel.worker import align_unit_task
 from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import dsoft_seed
 from ..seed.index import SeedIndex
 from .anchors import CoverageGrid
 from .config import DarwinWGAConfig
+from .extension import extend_anchors
 from .gact_x import TileTrace
 from .gapped_filter import gapped_filter
+from .worker import align_unit_task
+
+if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
+    from ..parallel.engine import ExecutionEngine
+
+
+def _make_engine(workers: int) -> "ExecutionEngine":
+    """Construct the multiprocess engine.
+
+    Deferred import: ``repro.parallel`` is a higher layer than
+    ``core``, so the pipelines only reach up at call time, when the
+    caller actually asked for workers (see LAY001 in repro.analysis).
+    """
+    from ..parallel.engine import ExecutionEngine
+
+    return ExecutionEngine(workers)
 
 
 def _resolve_cache(
@@ -117,7 +131,7 @@ class DarwinWGA:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = ExecutionEngine(self.workers)
+            self._engine = _make_engine(self.workers)
             self._owns_engine = True
         return self._engine
 
@@ -291,7 +305,7 @@ def align_assemblies(
     pool = engine
     owns_engine = False
     if pool is None and workers > 1:
-        pool = ExecutionEngine(workers)
+        pool = _make_engine(workers)
         owns_engine = True
     try:
         if pool is not None and pool.active:

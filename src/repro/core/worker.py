@@ -11,14 +11,18 @@ dicts for the parent to graft onto its own timeline.
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..genome.sequence import Sequence
 from ..obs.export import serialize_spans
 from ..obs.tracer import NULL_TRACER, Tracer
-from .engine import SequenceHandle
+from ..seed.cache import SeedIndexCache
+from .gact_x import gact_x_extend
+
+if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
+    from ..parallel.engine import SequenceHandle
 
 __all__ = ["align_unit_task", "extend_batch_task", "resolve_sequence"]
 
@@ -64,8 +68,6 @@ def extend_batch_task(
     dict per anchor, parallel to the results, so the parent can graft
     exactly the spans of anchors that survive the absorption replay.
     """
-    from ..core.gact_x import gact_x_extend
-
     target = resolve_sequence(target_handle)
     query = resolve_sequence(query_handle)
     tracer = _worker_tracer(traced)
@@ -97,8 +99,6 @@ def align_unit_task(
     aligner = aligner_class(config, tracer=tracer)
     index = None
     if index_cache_dir is not None:
-        from ..seed.cache import SeedIndexCache
-
         index = SeedIndexCache(index_cache_dir).get_or_build(
             target, aligner.config.seed, tracer=tracer
         )

@@ -17,23 +17,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from ..align.alignment import Alignment
 from ..core.anchors import CoverageGrid
 from ..core.config import ExtensionParams
-from ..core.pipeline import WGAResult, Workload, _resolve_cache
+from ..core.extension import extend_anchors
+from ..core.pipeline import WGAResult, Workload, _make_engine, _resolve_cache
 from ..align.matrices import lastz_default
 from ..align.scoring import ScoringScheme
 from ..genome.sequence import Sequence
 from ..obs.tracer import NULL_TRACER
-from ..parallel.engine import ExecutionEngine
-from ..parallel.extension import extend_anchors
 from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import all_seed_hits
 from ..seed.index import SeedIndex
 from ..seed.patterns import SpacedSeed
 from .ungapped_filter import UngappedFilterParams, ungapped_filter
+
+if TYPE_CHECKING:  # repro.parallel sits above lastz in the layer DAG
+    from ..parallel.engine import ExecutionEngine
 
 
 @dataclass(frozen=True)
@@ -81,7 +83,7 @@ class LastzAligner:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = ExecutionEngine(self.workers)
+            self._engine = _make_engine(self.workers)
             self._owns_engine = True
         return self._engine
 

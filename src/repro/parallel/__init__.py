@@ -2,16 +2,23 @@
 
 The paper's co-processor extracts its speedup from the independence of
 seed-filter-extend work items; this package is the software analogue —
-a :class:`~repro.parallel.engine.ExecutionEngine` (process pool plus
-shared-memory sequence transport) and deterministic orchestrators that
-fan anchors (:func:`~repro.parallel.extension.extend_anchors`) and
-chromosome-pair units out across it while keeping the output
-byte-identical to a serial run for any worker count.
+an :class:`~repro.parallel.engine.ExecutionEngine` (process pool plus
+shared-memory sequence transport).  The deterministic orchestrators
+that fan anchors and chromosome-pair units out across it are domain
+logic and live below this layer, in :mod:`repro.core.extension` and
+:mod:`repro.core.worker`; their names are re-exported here for
+convenience (``parallel`` may import ``core`` — the reverse direction
+is what the layer DAG forbids; the pipelines reach up only through
+deferred construction at call time).
+
+Task callables submitted to the engine are pickled **by reference**:
+they must be module-level functions, never lambdas or closures
+(enforced by ``repro lint`` rules PAR001/PAR002).
 """
 
+from ..core.extension import extend_anchors
+from ..core.worker import align_unit_task, extend_batch_task, resolve_sequence
 from .engine import ExecutionEngine, SequenceHandle
-from .extension import extend_anchors
-from .worker import align_unit_task, extend_batch_task, resolve_sequence
 
 __all__ = [
     "ExecutionEngine",

@@ -16,7 +16,7 @@ pipelines need on top of it:
 
 Determinism is the callers' contract, not the engine's: result futures
 are always consumed in submission order (see
-:mod:`repro.parallel.extension`), so the engine itself only needs to be
+:mod:`repro.core.extension`), so the engine itself only needs to be
 an ordinary pool.
 """
 

@@ -1,0 +1,177 @@
+"""Good/bad fixtures for the DET determinism rules."""
+
+from .helpers import lint_snippet, rules_of
+
+DET = ["DET001", "DET002", "DET003", "DET004"]
+
+
+class TestUnseededRng:
+    def test_flags_default_rng_without_seed(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_flags_stdlib_random_without_seed(self):
+        findings = lint_snippet(
+            """
+            import random
+            rng = random.Random()
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_flags_aliased_import(self):
+        findings = lint_snippet(
+            """
+            from numpy.random import default_rng as make_rng
+            rng = make_rng()
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_seeded_constructors_pass(self):
+        findings = lint_snippet(
+            """
+            import random
+            import numpy as np
+
+            def sample(seed: int):
+                rng = np.random.default_rng(seed)
+                legacy = random.Random(seed)
+                return rng, legacy
+            """,
+            select=DET,
+        )
+        assert findings == []
+
+
+class TestGlobalRng:
+    def test_flags_numpy_module_functions(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+            noise = np.random.rand(10)
+            np.random.shuffle(noise)
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET002", "DET002"]
+
+    def test_flags_global_seeding(self):
+        findings = lint_snippet(
+            """
+            import random
+            import numpy as np
+            random.seed(0)
+            np.random.seed(0)
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET002", "DET002"]
+
+    def test_generator_methods_pass(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def jitter(rng: np.random.Generator):
+                return rng.random(4)
+            """,
+            select=DET,
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_and_datetime(self):
+        findings = lint_snippet(
+            """
+            import time
+            from datetime import datetime
+            stamp = time.time()
+            now = datetime.now()
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET003", "DET003"]
+
+    def test_obs_package_is_exempt(self):
+        findings = lint_snippet(
+            """
+            from time import perf_counter
+            tick = perf_counter()
+            """,
+            modname="repro.obs.tracer",
+            select=DET,
+        )
+        assert findings == []
+
+    def test_same_code_outside_obs_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from time import perf_counter
+            tick = perf_counter()
+            """,
+            modname="repro.seed.cache",
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET003"]
+
+
+class TestSetIteration:
+    def test_flags_for_loop_over_set_call(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                for name in set(names):
+                    yield name
+            """,
+            select=DET,
+        )
+        assert rules_of(findings) == ["DET004"]
+
+    def test_flags_list_of_set_and_join(self):
+        findings = lint_snippet(
+            """
+            def render(names):
+                order = list({n.lower() for n in names})
+                return ",".join(set(names)), order
+            """,
+            select=DET,
+        )
+        # set-comp iterated by list() and set() iterated by join()
+        assert rules_of(findings) == ["DET004", "DET004"]
+
+    def test_sorted_set_passes(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                for name in sorted(set(names)):
+                    yield name
+            """,
+            select=DET,
+        )
+        assert findings == []
+
+    def test_set_membership_passes(self):
+        findings = lint_snippet(
+            """
+            def dedup(pairs):
+                seen = set()
+                out = []
+                for pair in pairs:
+                    if pair not in seen:
+                        seen.add(pair)
+                        out.append(pair)
+                return out
+            """,
+            select=DET,
+        )
+        assert findings == []

@@ -1,0 +1,80 @@
+"""The three equivalent lint entry points and their exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.app import main as analysis_main
+from repro.cli import main as cli_main
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_module_entry_point_clean_tree(capsys):
+    code = analysis_main([str(SRC)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_repro_lint_subcommand(capsys):
+    code = cli_main(["lint", str(SRC)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_json_format(capsys):
+    code = analysis_main([str(SRC), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+
+
+def test_list_rules(capsys):
+    code = analysis_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in (
+        "DET001", "DET004", "LAY001", "LAY002", "KER001", "KER005",
+        "PAR001", "PAR002", "SUP001",
+    ):
+        assert rule_id in out
+
+
+def test_dirty_file_fails_with_exit_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+    code = analysis_main([str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET002" in out
+
+
+def test_missing_path_fails_with_exit_two(tmp_path, capsys):
+    code = analysis_main([str(tmp_path / "nope")])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_select_filters_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "x = np.random.rand(3)\n"
+        "def f(a=[]):\n"
+        "    return a\n"
+    )
+    code = analysis_main([str(bad), "--select", "KER003"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "KER003" in out
+    assert "DET002" not in out
+
+
+def test_syntax_error_reports_parse_finding(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    code = analysis_main([str(broken)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "PARSE" in out

@@ -1,0 +1,57 @@
+"""Good/bad fixtures for the PAR parallel-safety rules."""
+
+from .helpers import lint_snippet, rules_of
+
+PAR = ["PAR001", "PAR002"]
+
+
+class TestLambdaTask:
+    def test_flags_lambda_submitted_to_pool(self):
+        findings = lint_snippet(
+            """
+            def fan_out(engine, items):
+                return [engine.submit(lambda x: x * 2, item)
+                        for item in items]
+            """,
+            select=PAR,
+        )
+        assert rules_of(findings) == ["PAR001"]
+
+
+class TestNestedTask:
+    def test_flags_closure_submitted_to_pool(self):
+        findings = lint_snippet(
+            """
+            def fan_out(engine, items, scale):
+                def task(x):
+                    return x * scale
+                return [engine.submit(task, item) for item in items]
+            """,
+            select=PAR,
+        )
+        assert rules_of(findings) == ["PAR002"]
+
+    def test_flags_lambda_assigned_then_submitted(self):
+        findings = lint_snippet(
+            """
+            def fan_out(engine, items):
+                task = lambda x: x * 2
+                return [engine.submit(task, item) for item in items]
+            """,
+            select=PAR,
+        )
+        assert rules_of(findings) == ["PAR002"]
+
+    def test_module_level_task_passes(self):
+        findings = lint_snippet(
+            """
+            def double_task(x):
+                return x * 2
+
+            def fan_out(engine, items):
+                return [engine.submit(double_task, item)
+                        for item in items]
+            """,
+            select=PAR,
+        )
+        assert findings == []

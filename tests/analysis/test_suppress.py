@@ -1,0 +1,106 @@
+"""Suppression-comment parsing, scoping, and meta-linting."""
+
+from .helpers import lint_snippet, rules_of
+
+
+class TestSuppressionScope:
+    def test_trailing_comment_suppresses_its_line(self):
+        findings = lint_snippet(
+            """
+            def emit(names):  # noqa-free zone
+                for n in set(names):  # repro: allow[DET004] output is order-insensitive here
+                    yield n
+            """,
+            select=["DET004"],
+        )
+        assert findings == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                # repro: allow[DET004] output is order-insensitive here
+                for n in set(names):
+                    yield n
+            """,
+            select=["DET004"],
+        )
+        assert findings == []
+
+    def test_allow_file_suppresses_whole_file(self):
+        findings = lint_snippet(
+            """
+            # repro: allow-file[KER005] demo script output
+            def a():
+                print("a")
+
+            def b():
+                print("b")
+            """,
+            modname="repro.seed.demo",
+            select=["KER005"],
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                for n in set(names):  # repro: allow[KER005] wrong rule id on purpose
+                    yield n
+            """,
+            select=["DET004", "KER005"],
+        )
+        assert rules_of(findings) == ["DET004"]
+
+    def test_suppressed_findings_are_still_recorded(self):
+        from repro.analysis import analyze_sources
+
+        result = analyze_sources(
+            {
+                "repro.seed.demo": (
+                    "def emit(names):\n"
+                    "    # repro: allow[DET004] order-insensitive\n"
+                    "    return list(set(names))\n"
+                )
+            },
+            select=["DET004"],
+        )
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["DET004"]
+
+
+class TestSuppressionMetaLint:
+    def test_reasonless_suppression_is_a_finding(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                for n in set(names):  # repro: allow[DET004]
+                    yield n
+            """,
+            select=["DET004"],
+        )
+        # The DET004 finding is suppressed, but the reasonless
+        # suppression itself is reported — and cannot be suppressed.
+        assert rules_of(findings) == ["SUP001"]
+
+    def test_unknown_rule_id_is_a_finding(self):
+        findings = lint_snippet(
+            """
+            x = 1  # repro: allow[NOPE99] such a rule does not exist
+            """,
+            select=["DET004"],
+        )
+        assert rules_of(findings) == ["SUP002"]
+
+    def test_multiple_rules_one_comment(self):
+        findings = lint_snippet(
+            """
+            def emit(names):
+                # repro: allow[DET004, KER005] deliberate fixture
+                return [print(n) for n in set(names)]
+            """,
+            modname="repro.seed.demo",
+            select=["DET004", "KER005"],
+        )
+        assert findings == []
