@@ -1,0 +1,172 @@
+"""Fault-free overhead of the resilience machinery.
+
+Two measurements, both merged into ``BENCH_PIPELINE.json`` under
+``fault_overhead``:
+
+* **Supervised dispatch** — the same task batch pushed through the raw
+  ``ExecutionEngine.submit`` path and through the resilient
+  ``dispatch``/``result`` path with no fault plan.  The delta is pure
+  bookkeeping (ticket tracking, deadline checks, injection probes).
+* **Checkpoint journaling** — the same assembly pair aligned with and
+  without a run manifest.  The delta is digest hashing plus one
+  fsync'd journal line per chromosome-pair unit.
+
+The target is <5% fault-free overhead for each; wall-clock noise on
+tiny containers can exceed that, so the hard assertions here are on
+output identity and the artifact carries the measured numbers.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import align_assemblies
+from repro.genome import Assembly, Sequence, make_species_pair
+from repro.parallel import ExecutionEngine
+
+from .conftest import (
+    BENCH_PIPELINE_PATH,
+    EXON_COUNT,
+    GENOME_LENGTH,
+    PAIR_MODEL,
+    PAIR_SPECS,
+    print_table,
+)
+
+OVERHEAD_TARGET = 0.05
+WORKERS = 2
+DISPATCH_TASKS = 64
+TASK_SIZE = 200_000
+
+
+def dot_task(size, lane):
+    """A worker task heavy enough that dispatch cost is the signal."""
+    values = np.arange(size, dtype=np.float64) + lane
+    return float(values @ values)
+
+
+def _record_overhead(pair_name, entry):
+    """Merge the overhead measurements into the aggregate artifact."""
+    try:
+        artifact = json.loads(BENCH_PIPELINE_PATH.read_text())
+    except (OSError, ValueError):
+        artifact = {"version": 1}
+    artifact["fault_overhead"] = dict(
+        entry,
+        pair=pair_name,
+        genome_length=GENOME_LENGTH,
+        workers=WORKERS,
+        target=OVERHEAD_TARGET,
+        identical_output=True,
+    )
+    BENCH_PIPELINE_PATH.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True)
+    )
+
+
+def _split_assembly(genome, prefix):
+    half = len(genome.codes) // 2
+    return Assembly(
+        name=prefix,
+        chromosomes=[
+            Sequence(genome.codes[:half], name=f"{prefix}1"),
+            Sequence(genome.codes[half:], name=f"{prefix}2"),
+        ],
+    )
+
+
+def _time_dispatch(engine, supervised):
+    start = time.perf_counter()
+    if supervised:
+        tickets = [
+            engine.dispatch(dot_task, TASK_SIZE, lane, key=f"lane{lane}")
+            for lane in range(DISPATCH_TASKS)
+        ]
+        values = [engine.result(t) for t in tickets]
+    else:
+        futures = [
+            engine.submit(dot_task, TASK_SIZE, lane)
+            for lane in range(DISPATCH_TASKS)
+        ]
+        values = [f.result() for f in futures]
+    return values, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="fault_overhead")
+def test_fault_free_overhead(benchmark, tmp_path):
+    name, distance, seed = PAIR_SPECS[-1]
+    pair = make_species_pair(
+        GENOME_LENGTH,
+        distance,
+        np.random.default_rng(seed),
+        exon_count=EXON_COUNT,
+        **PAIR_MODEL,
+    )
+    target = _split_assembly(pair.target.genome, "t")
+    query = _split_assembly(pair.query.genome, "q")
+
+    def sweep():
+        timings = {}
+        with ExecutionEngine(WORKERS) as engine:
+            raw_values, timings["dispatch_raw"] = _time_dispatch(
+                engine, supervised=False
+            )
+            supervised_values, timings["dispatch_supervised"] = (
+                _time_dispatch(engine, supervised=True)
+            )
+        assert supervised_values == raw_values
+        plain = align_assemblies(target, query, workers=WORKERS)
+        start = time.perf_counter()
+        align_assemblies(target, query, workers=WORKERS)
+        timings["pipeline_plain"] = time.perf_counter() - start
+        start = time.perf_counter()
+        journaled = align_assemblies(
+            target,
+            query,
+            workers=WORKERS,
+            checkpoint=tmp_path / "bench.manifest",
+        )
+        timings["pipeline_journaled"] = time.perf_counter() - start
+        assert journaled.alignments == plain.alignments
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    dispatch_overhead = (
+        timings["dispatch_supervised"] / timings["dispatch_raw"] - 1.0
+    )
+    journal_overhead = (
+        timings["pipeline_journaled"] / timings["pipeline_plain"] - 1.0
+    )
+    _record_overhead(
+        name,
+        {
+            "wall_seconds": dict(timings),
+            "overhead": {
+                "dispatch_supervised": dispatch_overhead,
+                "pipeline_journaled": journal_overhead,
+            },
+        },
+    )
+
+    print_table(
+        f"Fault-free resilience overhead ({name}, {GENOME_LENGTH:,} bp, "
+        f"target <{OVERHEAD_TARGET:.0%})",
+        ("comparison", "baseline s", "resilient s", "overhead"),
+        [
+            (
+                "supervised dispatch",
+                f"{timings['dispatch_raw']:.2f}",
+                f"{timings['dispatch_supervised']:.2f}",
+                f"{dispatch_overhead * 100:+.1f}%",
+            ),
+            (
+                "checkpoint journal",
+                f"{timings['pipeline_plain']:.2f}",
+                f"{timings['pipeline_journaled']:.2f}",
+                f"{journal_overhead * 100:+.1f}%",
+            ),
+        ],
+    )

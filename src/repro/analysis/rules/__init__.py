@@ -6,7 +6,14 @@ Rule id blocks:
 * ``LAY0xx`` — layering / import-graph DAG
 * ``KER0xx`` — DP-kernel and general hygiene
 * ``PAR0xx`` — parallel-dispatch pickling safety
+* ``RES0xx`` — resilience / recovery-path hygiene
 * ``SUP0xx`` / ``PARSE`` — engine-reserved (see ``registry.ENGINE_RULES``)
 """
 
-from . import determinism, kernel, layering, parallel  # noqa: F401
+from . import (  # noqa: F401
+    determinism,
+    kernel,
+    layering,
+    parallel,
+    resilience,
+)

@@ -3,7 +3,7 @@
 The enforced architecture, bottom to top::
 
     rank 0   obs, analysis        (self-contained: no repro imports)
-    rank 1   genome
+    rank 1   genome, resilience
     rank 2   seed
     rank 3   align
     rank 4   chain, phylo
@@ -41,6 +41,7 @@ RANKS: Dict[str, int] = {
     "obs": 0,
     "analysis": 0,
     "genome": 1,
+    "resilience": 1,
     "seed": 2,
     "align": 3,
     "chain": 4,

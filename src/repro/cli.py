@@ -27,10 +27,10 @@ import numpy as np
 
 from .analysis.app import add_lint_arguments, run_lint
 from .chain import GapCosts, build_chains, top_chain_scores, total_matches
-from .core import DarwinWGA, DarwinWGAConfig, Workload
+from .core import DarwinWGA, DarwinWGAConfig, Workload, align_assemblies
 from .genome import make_species_pair, read_fasta, write_fasta
 from .hw import CostModel, asic_estimate
-from .io import write_chains, write_maf
+from .io import write_assembly_maf, write_chains, write_maf
 from .lastz import LastzAligner
 from .obs import (
     NULL_TRACER,
@@ -40,6 +40,7 @@ from .obs import (
     write_chrome_trace,
     write_run_report,
 )
+from .resilience import FaultPlan, ResilienceOptions, RetryPolicy
 
 
 def _add_generate(subparsers) -> None:
@@ -61,33 +62,56 @@ def _add_generate(subparsers) -> None:
         default=0.35,
         help="fraction of the genome in conserved islands",
     )
+    parser.add_argument(
+        "--chromosomes",
+        type=int,
+        default=1,
+        help="chromosomes per species (--length is per chromosome); "
+        "values > 1 write multi-record FASTAs for assembly alignment",
+    )
     parser.add_argument("--out-dir", type=Path, default=Path("."))
     parser.set_defaults(func=_cmd_generate)
 
 
 def _cmd_generate(args) -> int:
-    pair = make_species_pair(
-        args.length,
-        args.distance,
-        np.random.default_rng(args.seed),
-        exon_count=args.exons,
-        alignable_fraction=args.alignable_fraction,
-    )
+    if args.chromosomes < 1:
+        raise SystemExit("--chromosomes must be at least 1")
+    rng = np.random.default_rng(args.seed)
+    targets = []
+    queries = []
+    exon_records = []
+    for number in range(1, args.chromosomes + 1):
+        single = args.chromosomes == 1
+        pair = make_species_pair(
+            args.length,
+            args.distance,
+            rng,
+            exon_count=args.exons,
+            alignable_fraction=args.alignable_fraction,
+            target_name="target" if single else f"target_chr{number}",
+            query_name="query" if single else f"query_chr{number}",
+        )
+        targets.append(pair.target.genome)
+        queries.append(pair.query.genome)
+        for exon in pair.target.exons:
+            exon_records.append((pair.target.genome.name, exon))
     args.out_dir.mkdir(parents=True, exist_ok=True)
     target_path = args.out_dir / "target.fa"
     query_path = args.out_dir / "query.fa"
-    write_fasta([pair.target.genome], target_path)
-    write_fasta([pair.query.genome], query_path)
-    print(f"wrote {target_path} ({len(pair.target.genome):,} bp)")
-    print(f"wrote {query_path} ({len(pair.query.genome):,} bp)")
-    if pair.target.exons:
+    write_fasta(targets, target_path)
+    write_fasta(queries, query_path)
+    target_bp = sum(len(seq) for seq in targets)
+    query_bp = sum(len(seq) for seq in queries)
+    print(f"wrote {target_path} ({target_bp:,} bp, {len(targets)} records)")
+    print(f"wrote {query_path} ({query_bp:,} bp, {len(queries)} records)")
+    if exon_records:
         bed = args.out_dir / "target_exons.bed"
         with open(bed, "w") as handle:
-            for exon in pair.target.exons:
+            for name, exon in exon_records:
                 handle.write(
-                    f"target\t{exon.start}\t{exon.end}\t{exon.name}\n"
+                    f"{name}\t{exon.start}\t{exon.end}\t{exon.name}\n"
                 )
-        print(f"wrote {bed} ({len(pair.target.exons)} exons)")
+        print(f"wrote {bed} ({len(exon_records)} exons)")
     return 0
 
 
@@ -124,6 +148,39 @@ def _add_align(subparsers) -> None:
         default=None,
         help="directory for the persistent seed-index cache",
     )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="journal completed chromosome-pair units to this manifest",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip units already journaled in --checkpoint (after "
+        "verifying it matches this run's inputs and configuration)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SEED[:kind=rate,...]",
+        default=None,
+        help="deterministic chaos testing: seeded schedule of worker "
+        "crashes / task errors / timeouts / cache corruption "
+        "(output stays byte-identical; see repro.resilience)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-dispatches per work unit before serial in-process "
+        "fallback",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt deadline in seconds for dispatched work units",
+    )
     parser.set_defaults(func=_cmd_align)
 
 
@@ -139,32 +196,99 @@ def _load_single(path: Path):
     return records[0]
 
 
+def _load_records(path: Path):
+    records = read_fasta(path)
+    if not records:
+        raise SystemExit(f"{path}: no FASTA records")
+    return records
+
+
+def _resilience_from_args(args) -> ResilienceOptions:
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    plan = None
+    if args.inject_faults is not None:
+        try:
+            plan = FaultPlan.parse(args.inject_faults)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    return ResilienceOptions(
+        policy=RetryPolicy(
+            max_retries=args.max_retries, timeout=args.task_timeout
+        ),
+        fault_plan=plan,
+    )
+
+
+def _print_recovery(stats) -> None:
+    if not stats.recovered and not stats.injected_faults:
+        return
+    injected = (
+        ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(stats.injected_faults.items())
+        )
+        or "none"
+    )
+    print(
+        f"recovery: {stats.retries} retries, "
+        f"{stats.timeouts} timeouts, "
+        f"{stats.pool_rebuilds} pool rebuilds, "
+        f"{stats.serial_fallbacks} serial fallbacks, "
+        f"{stats.quarantined_entries} quarantined cache entries, "
+        f"{stats.resumed_units} resumed / "
+        f"{stats.journaled_units} journaled units; "
+        f"injected: {injected}"
+    )
+
+
 def _cmd_align(args) -> int:
-    target = _load_single(args.target)
-    query = _load_single(args.query)
-    tracer = Tracer() if args.trace_out is not None else NULL_TRACER
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint")
+    targets = _load_records(args.target)
+    queries = _load_records(args.query)
+    tracer = Tracer() if args.trace_out is not None else NULL_TRACER
+    resilience = _resilience_from_args(args)
+    if args.workers > 1:
+        from .parallel import install_signal_cleanup
+
+        install_signal_cleanup()
     if args.aligner == "darwin":
         config = DarwinWGAConfig(both_strands=not args.plus_only)
-        aligner = DarwinWGA(
-            config,
-            tracer=tracer,
-            workers=args.workers,
-            index_cache=args.index_cache,
-        )
+        aligner_class = DarwinWGA
     else:
         from .lastz import LastzConfig
 
         config = LastzConfig(both_strands=not args.plus_only)
-        aligner = LastzAligner(
+        aligner_class = LastzAligner
+    assembly_mode = (
+        len(targets) > 1 or len(queries) > 1 or args.checkpoint is not None
+    )
+    if assembly_mode:
+        result = align_assemblies(
+            targets,
+            queries,
+            config=config,
+            aligner_class=aligner_class,
+            tracer=tracer,
+            workers=args.workers,
+            index_cache=args.index_cache,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            resilience=resilience,
+        )
+    else:
+        aligner = aligner_class(
             config,
             tracer=tracer,
             workers=args.workers,
             index_cache=args.index_cache,
+            resilience=resilience,
         )
-    with aligner:
-        result = aligner.align(target, query)
+        with aligner:
+            result = aligner.align(targets[0], queries[0])
     workload = result.workload
     print(
         f"{len(result.alignments)} alignments "
@@ -173,8 +297,12 @@ def _cmd_align(args) -> int:
         f"{workload.filter_tiles:,} filter tiles, "
         f"{workload.extension_tiles:,} extension tiles"
     )
+    _print_recovery(resilience.stats)
     if args.out is not None:
-        write_maf(result.alignments, target, query, args.out)
+        if assembly_mode:
+            write_assembly_maf(result.alignments, targets, queries, args.out)
+        else:
+            write_maf(result.alignments, targets[0], queries[0], args.out)
         print(f"wrote {args.out}")
     if args.trace_out is not None:
         write_run_report(
@@ -186,6 +314,7 @@ def _cmd_align(args) -> int:
                 "aligner": args.aligner,
                 "target": str(args.target),
                 "query": str(args.query),
+                "resilience": resilience.stats.as_dict(),
             },
         )
         print(f"wrote trace {args.trace_out}")

@@ -175,6 +175,7 @@ def _extend_parallel(
     seen_spans: set = set()
     in_flight: deque = deque()
     position = 0
+    batch_number = 0
 
     def form_batch() -> tuple:
         """Next batch in serial order, skipping already-absorbed anchors."""
@@ -190,12 +191,13 @@ def _extend_parallel(
         return tuple(batch)
 
     def dispatch() -> None:
+        nonlocal batch_number
         while position < len(anchors) and len(in_flight) < max_in_flight:
             batch = form_batch()
             if not batch:
                 continue
             base = tracer.now()
-            future = engine.submit(
+            ticket = engine.dispatch(
                 extend_batch_task,
                 target_handle,
                 query_handle,
@@ -203,13 +205,15 @@ def _extend_parallel(
                 scoring,
                 params,
                 traced,
+                key=f"extend:{batch_number}",
             )
-            in_flight.append((batch, future, base))
+            batch_number += 1
+            in_flight.append((batch, ticket, base))
 
     dispatch()
     while in_flight:
-        batch, future, base = in_flight.popleft()
-        results, span_dicts = future.result()
+        batch, ticket, base = in_flight.popleft()
+        results, span_dicts = engine.result(ticket, tracer=tracer)
         for slot, (anchor, extension) in enumerate(zip(batch, results)):
             # Replay in submission order: a batch dispatched while this
             # one was running may have been formed before these results

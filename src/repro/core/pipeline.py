@@ -19,6 +19,12 @@ from ..align.alignment import Alignment
 from ..genome.sequence import Sequence
 from ..obs.export import graft_span_dicts
 from ..obs.tracer import NULL_TRACER
+from ..resilience.checkpoint import (
+    RunManifest,
+    config_digest,
+    sequences_digest,
+)
+from ..resilience.policy import ResilienceOptions
 from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import dsoft_seed
 from ..seed.index import SeedIndex
@@ -33,7 +39,9 @@ if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
     from ..parallel.engine import ExecutionEngine
 
 
-def _make_engine(workers: int) -> "ExecutionEngine":
+def _make_engine(
+    workers: int, resilience: Optional[ResilienceOptions] = None
+) -> "ExecutionEngine":
     """Construct the multiprocess engine.
 
     Deferred import: ``repro.parallel`` is a higher layer than
@@ -42,15 +50,20 @@ def _make_engine(workers: int) -> "ExecutionEngine":
     """
     from ..parallel.engine import ExecutionEngine
 
-    return ExecutionEngine(workers)
+    return ExecutionEngine(workers, resilience=resilience)
 
 
 def _resolve_cache(
     index_cache: Union[SeedIndexCache, str, Path, None],
+    resilience: Optional[ResilienceOptions] = None,
 ) -> Optional[SeedIndexCache]:
-    if index_cache is None or isinstance(index_cache, SeedIndexCache):
+    if index_cache is None:
+        return None
+    if isinstance(index_cache, SeedIndexCache):
+        if resilience is not None and index_cache.resilience is None:
+            index_cache.resilience = resilience
         return index_cache
-    return SeedIndexCache(index_cache)
+    return SeedIndexCache(index_cache, resilience=resilience)
 
 
 @dataclass
@@ -119,11 +132,15 @@ class DarwinWGA:
         workers: int = 1,
         engine: Optional[ExecutionEngine] = None,
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> None:
         self.config = config or DarwinWGAConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = engine.workers if engine is not None else workers
-        self.index_cache = _resolve_cache(index_cache)
+        if resilience is None and engine is not None:
+            resilience = engine.resilience
+        self.resilience = resilience
+        self.index_cache = _resolve_cache(index_cache, resilience)
         self._engine = engine
         self._owns_engine = False
 
@@ -131,7 +148,7 @@ class DarwinWGA:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = _make_engine(self.workers)
+            self._engine = _make_engine(self.workers, self.resilience)
             self._owns_engine = True
         return self._engine
 
@@ -272,6 +289,31 @@ def align_pair(
         return aligner.align(target, query)
 
 
+def _unit_key(ti: int, target: Sequence, qi: int, query: Sequence) -> str:
+    """Stable identity of one (target, query) chromosome-pair unit."""
+    return f"{ti}:{target.name or 'target'}|{qi}:{query.name or 'query'}"
+
+
+def _attach_manifest(
+    checkpoint,
+    resume: bool,
+    aligner_class,
+    resolved_config,
+    target_assembly,
+    query_assembly,
+) -> Optional[RunManifest]:
+    if checkpoint is None:
+        return None
+    return RunManifest.attach(
+        checkpoint,
+        aligner=aligner_class.__name__,
+        config=config_digest(resolved_config),
+        target=sequences_digest(target_assembly),
+        query=sequences_digest(query_assembly),
+        resume=resume,
+    )
+
+
 def align_assemblies(
     target_assembly,
     query_assembly,
@@ -281,6 +323,9 @@ def align_assemblies(
     workers: int = 1,
     engine: Optional[ExecutionEngine] = None,
     index_cache: Union[SeedIndexCache, str, Path, None] = None,
+    checkpoint: Union[str, Path, None] = None,
+    resume: bool = False,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> WGAResult:
     """Whole-assembly WGA: every target chromosome vs every query
     chromosome (the paper's actual task — its species have multiple
@@ -299,33 +344,75 @@ def align_assemblies(
     stable, so the result is byte-identical to the serial run.  With an
     ``index_cache`` the parent warms each target's seed index once and
     workers load it from disk instead of rebuilding per unit.
+
+    ``checkpoint`` journals every completed unit to a
+    :class:`~repro.resilience.checkpoint.RunManifest`; ``resume=True``
+    replays journaled units from an existing manifest (after verifying
+    it was written by this exact aligner/config/input combination)
+    instead of recomputing them.  Because journaled results are merged
+    back at their original positions, a resumed run's output is
+    byte-identical to an uninterrupted one.  ``resilience`` supplies the
+    retry policy, fault-injection plan and recovery counters for
+    supervised parallel dispatch.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
-    cache = _resolve_cache(index_cache)
+    cache = _resolve_cache(index_cache, resilience)
+    resolved_config = config if config is not None else aligner_class().config
+    manifest = _attach_manifest(
+        checkpoint,
+        resume,
+        aligner_class,
+        resolved_config,
+        target_assembly,
+        query_assembly,
+    )
+    stats = resilience.stats if resilience is not None else None
     pool = engine
     owns_engine = False
     if pool is None and workers > 1:
-        pool = _make_engine(workers)
+        pool = _make_engine(workers, resilience)
         owns_engine = True
     try:
         if pool is not None and pool.active:
             return _align_assemblies_parallel(
                 target_assembly,
                 query_assembly,
-                config,
+                resolved_config,
                 aligner_class,
                 tracer,
                 pool,
                 cache,
+                manifest,
+                stats,
             )
-        aligner = aligner_class(config, tracer=tracer, index_cache=cache)
+        aligner = aligner_class(
+            resolved_config,
+            tracer=tracer,
+            index_cache=cache,
+            resilience=resilience,
+        )
         alignments: List[Alignment] = []
         workload = Workload()
         with tracer.span("align_assemblies") as span:
-            for target in target_assembly:
-                index = aligner._build_index(target)
-                for query in query_assembly:
-                    result = aligner.align(target, query, index=index)
+            for ti, target in enumerate(target_assembly):
+                # Built on first non-journaled unit: a fully resumed
+                # target never pays for index construction.
+                index = None
+                for qi, query in enumerate(query_assembly):
+                    key = _unit_key(ti, target, qi, query)
+                    if manifest is not None and key in manifest:
+                        result = manifest.result_for(key)
+                        span.inc("resumed_units")
+                        if stats is not None:
+                            stats.resumed_units += 1
+                    else:
+                        if index is None:
+                            index = aligner._build_index(target)
+                        result = aligner.align(target, query, index=index)
+                        if manifest is not None:
+                            manifest.record(key, result)
+                            if stats is not None:
+                                stats.journaled_units += 1
                     alignments.extend(result.alignments)
                     workload.merge(result.workload)
                     span.inc("chromosome_pairs")
@@ -339,36 +426,47 @@ def align_assemblies(
 def _align_assemblies_parallel(
     target_assembly,
     query_assembly,
-    config,
+    resolved_config,
     aligner_class,
     tracer,
     engine: ExecutionEngine,
     cache: Optional[SeedIndexCache],
+    manifest: Optional[RunManifest],
+    stats,
 ) -> WGAResult:
     """Fan (target chromosome, query chromosome) units over the engine.
 
     Submission and result gathering both follow the serial iteration
     order, and each unit is internally serial, so alignments, workload
-    counters and the final stable sort reproduce the serial run exactly.
+    counters and the final stable sort reproduce the serial run exactly
+    — including under supervised recovery (retries, pool rebuilds and
+    serial fallbacks change where a unit runs, never its value or its
+    position in the gather order) and under resume (journaled units are
+    replayed at their original positions).
     """
     traced = tracer.enabled
-    resolved_config = aligner_class().config if config is None else config
     cache_dir = str(cache.directory) if cache is not None else None
     alignments: List[Alignment] = []
     workload = Workload()
     with tracer.span("align_assemblies") as span:
         units = []
-        for target in target_assembly:
-            if cache is not None:
-                # Warm the on-disk index once per target so every worker
-                # unit loads it back as a cache hit.
-                cache.get_or_build(
-                    target, resolved_config.seed, tracer=tracer
-                )
-            target_handle = engine.share(target)
-            for query in query_assembly:
+        for ti, target in enumerate(target_assembly):
+            target_handle = None
+            for qi, query in enumerate(query_assembly):
+                key = _unit_key(ti, target, qi, query)
+                if manifest is not None and key in manifest:
+                    units.append((key, None, None))
+                    continue
+                if target_handle is None:
+                    if cache is not None:
+                        # Warm the on-disk index once per target so
+                        # every worker unit loads it as a cache hit.
+                        cache.get_or_build(
+                            target, resolved_config.seed, tracer=tracer
+                        )
+                    target_handle = engine.share(target)
                 base = tracer.now()
-                future = engine.submit(
+                ticket = engine.dispatch(
                     align_unit_task,
                     aligner_class,
                     resolved_config,
@@ -376,12 +474,23 @@ def _align_assemblies_parallel(
                     engine.share(query),
                     cache_dir,
                     traced,
+                    key=key,
                 )
-                units.append((future, base))
-        for future, base in units:
-            result, span_dicts = future.result()
-            if traced and span_dicts is not None:
-                graft_span_dicts(tracer, span_dicts, base=base)
+                units.append((key, ticket, base))
+        for key, ticket, base in units:
+            if ticket is None:
+                result = manifest.result_for(key)
+                span.inc("resumed_units")
+                if stats is not None:
+                    stats.resumed_units += 1
+            else:
+                result, span_dicts = engine.result(ticket, tracer=tracer)
+                if traced and span_dicts is not None:
+                    graft_span_dicts(tracer, span_dicts, base=base)
+                if manifest is not None:
+                    manifest.record(key, result)
+                    if stats is not None:
+                        stats.journaled_units += 1
             alignments.extend(result.alignments)
             workload.merge(result.workload)
             span.inc("chromosome_pairs")

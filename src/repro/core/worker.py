@@ -10,6 +10,7 @@ dicts for the parent to graft onto its own timeline.
 
 from __future__ import annotations
 
+import atexit
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -30,6 +31,27 @@ __all__ = ["align_unit_task", "extend_batch_task", "resolve_sequence"]
 #: block name.  Attaching once per process (not per task) keeps the
 #: per-batch dispatch cost at a dictionary lookup.
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+@atexit.register
+def _detach_attached() -> None:
+    """Drop numpy views, then close attachments, in that order.
+
+    Without this, interpreter shutdown garbage-collects the
+    :class:`SharedMemory` objects while their exported buffers are
+    still referenced by the cached arrays, and every ``__del__`` prints
+    an ignored ``BufferError``.  Runs in workers and — because the
+    serial-fallback path resolves handles in-process — in the parent.
+    """
+    while _ATTACHED:
+        _, (block, codes) = _ATTACHED.popitem()
+        del codes
+        try:
+            block.close()
+        except BufferError:
+            # A view escaped into a long-lived object; leave the block
+            # mapped — the OS reclaims it when the process exits.
+            pass
 
 
 def resolve_sequence(handle: SequenceHandle) -> Sequence:

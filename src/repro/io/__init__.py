@@ -3,7 +3,7 @@
 from .axt import axt_string, read_axt, write_axt
 from .bed import bed_string, read_bed, write_bed
 from .chain_format import chain_triples, chains_string, write_chains
-from .maf import maf_string, read_maf, write_maf
+from .maf import maf_string, read_maf, write_assembly_maf, write_maf
 
 __all__ = [
     "axt_string",
@@ -17,5 +17,6 @@ __all__ = [
     "write_chains",
     "maf_string",
     "read_maf",
+    "write_assembly_maf",
     "write_maf",
 ]

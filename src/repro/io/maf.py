@@ -52,6 +52,25 @@ def _gapped_texts(
     return "".join(t_text), "".join(q_text)
 
 
+def _write_block(
+    handle: TextIO, alignment: Alignment, target: Sequence, query: Sequence
+) -> None:
+    t_text, q_text = _gapped_texts(alignment, target, query)
+    handle.write(f"a score={alignment.score}\n")
+    handle.write(
+        f"s {alignment.target_name or 'target'} "
+        f"{alignment.target_start} {alignment.target_span} + "
+        f"{len(target)} {t_text}\n"
+    )
+    strand = "+" if alignment.strand == 1 else "-"
+    handle.write(
+        f"s {alignment.query_name or 'query'} "
+        f"{alignment.query_start} {alignment.query_span} {strand} "
+        f"{len(query)} {q_text}\n"
+    )
+    handle.write("\n")
+
+
 def write_maf(
     alignments: Iterable[Alignment],
     target: Sequence,
@@ -63,20 +82,37 @@ def write_maf(
     try:
         handle.write("##maf version=1 scoring=lastz-default\n")
         for alignment in alignments:
-            t_text, q_text = _gapped_texts(alignment, target, query)
-            handle.write(f"a score={alignment.score}\n")
-            handle.write(
-                f"s {alignment.target_name or 'target'} "
-                f"{alignment.target_start} {alignment.target_span} + "
-                f"{len(target)} {t_text}\n"
+            _write_block(handle, alignment, target, query)
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def write_assembly_maf(
+    alignments: Iterable[Alignment],
+    target_assembly,
+    query_assembly,
+    destination: _PathOrFile,
+) -> None:
+    """Write whole-assembly alignments as MAF blocks.
+
+    Unlike :func:`write_maf`, the alignments may span many chromosome
+    pairs; each block's sequences are looked up by the alignment's
+    recorded chromosome names in the two assemblies (any iterable of
+    uniquely named :class:`Sequence` objects).
+    """
+    targets = {seq.name: seq for seq in target_assembly}
+    queries = {seq.name: seq for seq in query_assembly}
+    handle, needs_close = _opened(destination, "w")
+    try:
+        handle.write("##maf version=1 scoring=lastz-default\n")
+        for alignment in alignments:
+            _write_block(
+                handle,
+                alignment,
+                targets[alignment.target_name],
+                queries[alignment.query_name],
             )
-            strand = "+" if alignment.strand == 1 else "-"
-            handle.write(
-                f"s {alignment.query_name or 'query'} "
-                f"{alignment.query_start} {alignment.query_span} {strand} "
-                f"{len(query)} {q_text}\n"
-            )
-            handle.write("\n")
     finally:
         if needs_close:
             handle.close()

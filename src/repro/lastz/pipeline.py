@@ -71,11 +71,15 @@ class LastzAligner:
         workers: int = 1,
         engine: Optional[ExecutionEngine] = None,
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
+        resilience=None,
     ) -> None:
         self.config = config or LastzConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = engine.workers if engine is not None else workers
-        self.index_cache = _resolve_cache(index_cache)
+        if resilience is None and engine is not None:
+            resilience = engine.resilience
+        self.resilience = resilience
+        self.index_cache = _resolve_cache(index_cache, resilience)
         self._engine = engine
         self._owns_engine = False
 
@@ -83,7 +87,7 @@ class LastzAligner:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = _make_engine(self.workers)
+            self._engine = _make_engine(self.workers, self.resilience)
             self._owns_engine = True
         return self._engine
 

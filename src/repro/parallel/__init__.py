@@ -18,13 +18,17 @@ they must be module-level functions, never lambdas or closures
 
 from ..core.extension import extend_anchors
 from ..core.worker import align_unit_task, extend_batch_task, resolve_sequence
-from .engine import ExecutionEngine, SequenceHandle
+from .engine import ExecutionEngine, SequenceHandle, install_signal_cleanup
+from .supervise import ResilientDispatcher, Ticket
 
 __all__ = [
     "ExecutionEngine",
+    "ResilientDispatcher",
     "SequenceHandle",
+    "Ticket",
     "align_unit_task",
     "extend_anchors",
     "extend_batch_task",
+    "install_signal_cleanup",
     "resolve_sequence",
 ]

@@ -3,7 +3,7 @@
 The pipelines are embarrassingly parallel across anchors, strands and
 chromosome pairs (the independence Darwin-WGA's co-processor exploits
 with thousands of concurrent tiles).  :class:`ExecutionEngine` wraps a
-:class:`concurrent.futures.ProcessPoolExecutor` with the two pieces the
+:class:`concurrent.futures.ProcessPoolExecutor` with the pieces the
 pipelines need on top of it:
 
 * **shared-memory sequences** — a genome's code array is published once
@@ -12,26 +12,47 @@ pipelines need on top of it:
   never re-pickles megabase arrays;
 * **batch sizing** — anchors are dispatched in chunks large enough to
   amortise the per-task round trip but small enough to keep every
-  worker busy.
+  worker busy;
+* **supervised dispatch** — :meth:`dispatch`/:meth:`result` route work
+  through a :class:`~repro.parallel.supervise.ResilientDispatcher`
+  (retry/timeout/pool-rebuild/serial-fallback per the engine's
+  :class:`~repro.resilience.policy.ResilienceOptions`), while
+  :meth:`submit` stays the raw, unsupervised path.
 
 Determinism is the callers' contract, not the engine's: result futures
 are always consumed in submission order (see
 :mod:`repro.core.extension`), so the engine itself only needs to be
 an ordinary pool.
+
+Crash hygiene: shared-memory blocks are OS-level files (``/dev/shm``)
+that outlive a crashed process.  Every live engine registers with an
+``atexit`` hook that unlinks its blocks on interpreter shutdown, and
+:func:`install_signal_cleanup` chains the same release in front of the
+existing SIGTERM/SIGINT handling for runs driven by the CLI.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
+import signal
+import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from multiprocessing import shared_memory
 
 from ..genome.sequence import Sequence
+from ..obs.tracer import NULL_TRACER
+from ..resilience.policy import ResilienceOptions
 
-__all__ = ["ExecutionEngine", "SequenceHandle"]
+__all__ = [
+    "ExecutionEngine",
+    "SequenceHandle",
+    "install_signal_cleanup",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +78,56 @@ def _default_context() -> multiprocessing.context.BaseContext:
     )
 
 
+#: Engines with possibly-live shared-memory blocks, for emergency
+#: cleanup on abnormal exit.  Weak references: a garbage-collected
+#: engine has already been closed or leaked past help.
+_LIVE_ENGINES: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+#: Previously installed handlers for signals we chain in front of.
+_CHAINED_SIGNALS: Dict[int, object] = {}
+
+
+def _release_live_engines() -> None:
+    """Unlink every live engine's shared-memory blocks (idempotent)."""
+    for engine in list(_LIVE_ENGINES):
+        engine.release_blocks()
+
+
+def _ensure_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_release_live_engines)
+        _ATEXIT_REGISTERED = True
+
+
+def _signal_cleanup(signum, frame) -> None:
+    _release_live_engines()
+    previous = _CHAINED_SIGNALS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # SIG_DFL/SIG_IGN: restore and re-raise so the process still
+        # dies with the conventional signal exit status.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def install_signal_cleanup(signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+    """Release shared-memory blocks before the usual signal handling.
+
+    Chains in front of whatever handler is installed (the default
+    ``KeyboardInterrupt`` for SIGINT, process death for SIGTERM), so a
+    killed run no longer strands its ``/dev/shm`` blocks.  Installing
+    twice is a no-op; intended for process owners (the CLI), not
+    library code.
+    """
+    for signum in signals:
+        if signum in _CHAINED_SIGNALS:
+            continue
+        _CHAINED_SIGNALS[signum] = signal.getsignal(signum)
+        signal.signal(signum, _signal_cleanup)
+
+
 class ExecutionEngine:
     """A process pool plus shared-memory sequence registry.
 
@@ -66,22 +137,36 @@ class ExecutionEngine:
 
     The engine owns every shared-memory block it publishes; call
     :meth:`close` (or use the engine as a context manager) to release
-    the pool and unlink the blocks.
+    the pool and unlink the blocks.  Blocks are additionally unlinked
+    by an ``atexit`` hook if the process dies with the engine open.
+
+    ``resilience`` carries the retry policy, optional fault-injection
+    plan and recovery counters used by :meth:`dispatch`/:meth:`result`.
     """
 
     def __init__(
         self,
         workers: int,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.resilience = resilience or ResilienceOptions()
         self._context = mp_context or _default_context()
         self._executor: Optional[ProcessPoolExecutor] = None
-        self._handles: Dict[int, SequenceHandle] = {}
+        self._dispatcher_obj = None
+        #: id(seq) -> (seq, handle).  The strong sequence reference is
+        #: deliberate: it pins the object so its id cannot be recycled
+        #: by a new Sequence after garbage collection, which would
+        #: silently alias a stale shared-memory block.
+        self._shared: Dict[int, Tuple[Sequence, SequenceHandle]] = {}
         self._blocks: List[shared_memory.SharedMemory] = []
         self._closed = False
+        self._owner_pid = os.getpid()
+        _ensure_atexit()
+        _LIVE_ENGINES.add(self)
 
     # -- lifecycle ---------------------------------------------------
     @property
@@ -98,6 +183,36 @@ class ExecutionEngine:
             )
         return self._executor
 
+    def rebuild(self) -> None:
+        """Replace a (typically broken) executor with a fresh pool.
+
+        Shared-memory blocks belong to this process, not the pool, so
+        they survive the rebuild; new workers simply re-attach.  The
+        next :meth:`submit` lazily constructs the replacement pool.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def release_blocks(self) -> None:
+        """Unlink every published shared-memory block (idempotent).
+
+        Only the creating process may unlink; forked children that
+        inherited this engine object leave the blocks to their owner.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._blocks.clear()
+        self._shared.clear()
+
     def close(self) -> None:
         """Shut the pool down and unlink every shared-memory block."""
         if self._closed:
@@ -106,14 +221,8 @@ class ExecutionEngine:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        for block in self._blocks:
-            try:
-                block.close()
-                block.unlink()
-            except OSError:  # pragma: no cover - already gone
-                pass
-        self._blocks.clear()
-        self._handles.clear()
+        self.release_blocks()
+        _LIVE_ENGINES.discard(self)
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -126,13 +235,13 @@ class ExecutionEngine:
     def share(self, seq: Sequence) -> SequenceHandle:
         """Publish ``seq`` to workers; repeated calls reuse the block.
 
-        Deduplication is by object identity — the pipelines hold onto
-        their Sequence objects for a whole run, so each genome is copied
-        into shared memory exactly once.
+        Deduplication is by object identity, with the engine holding a
+        reference to every shared sequence so an id can never be
+        recycled onto a different object while its entry is alive.
         """
-        handle = self._handles.get(id(seq))
-        if handle is not None:
-            return handle
+        entry = self._shared.get(id(seq))
+        if entry is not None:
+            return entry[1]
         codes = seq.codes
         try:
             block = shared_memory.SharedMemory(
@@ -155,21 +264,53 @@ class ExecutionEngine:
                 length=len(seq),
                 name=seq.name,
             )
-        self._handles[id(seq)] = handle
+        self._shared[id(seq)] = (seq, handle)
         return handle
 
     # -- dispatch ----------------------------------------------------
     def submit(self, fn, /, *args, **kwargs) -> Future:
-        """Submit one task to the pool."""
+        """Submit one task to the pool (raw, unsupervised)."""
         return self._pool().submit(fn, *args, **kwargs)
+
+    def dispatch(self, fn, /, *args, key: str = ""):
+        """Submit one task under supervision; returns a ticket.
+
+        ``key`` names the work unit for deterministic jitter and fault
+        schedules; pass it to :meth:`result` to collect the value with
+        retry/rebuild/serial-fallback recovery applied.
+        """
+        return self._dispatcher().submit(fn, *args, key=key)
+
+    def result(self, ticket, tracer=NULL_TRACER):
+        """Collect a dispatched ticket's result (see ``dispatch``)."""
+        return self._dispatcher().result(ticket, tracer=tracer)
+
+    def _dispatcher(self):
+        if self._dispatcher_obj is None:
+            # Deferred sibling import: supervise pulls in resilience
+            # machinery that plain submit() users never need.
+            from .supervise import ResilientDispatcher
+
+            self._dispatcher_obj = ResilientDispatcher(
+                self, self.resilience
+            )
+        return self._dispatcher_obj
 
     def batch_size_for(self, items: int, chunk_size: int = 0) -> int:
         """Anchors per dispatched batch.
 
         An explicit ``chunk_size`` wins; otherwise aim for ~8 batches
         per worker (so stragglers rebalance) capped at 32 anchors per
-        round trip.
+        round trip.  Small inputs are floored to one balanced batch per
+        worker: ``min(items, workers)`` batches instead of ``items``
+        single-anchor round trips.
         """
         if chunk_size > 0:
             return chunk_size
-        return max(1, min(32, items // (self.workers * 8) or 1))
+        if items <= 0:
+            return 1
+        size = items // (self.workers * 8)
+        if size < 1:
+            # Ceiling division: every available worker gets one batch.
+            size = -(-items // min(items, self.workers))
+        return max(1, min(32, size))

@@ -1,0 +1,186 @@
+"""Supervised dispatch: retries, deadlines, pool rebuilds, fallback.
+
+:class:`ResilientDispatcher` wraps an
+:class:`~repro.parallel.engine.ExecutionEngine` with the recovery
+ladder a production run needs:
+
+1. **retry** — a failed or timed-out attempt is re-dispatched with
+   bounded exponential backoff (deterministic jitter, see
+   :mod:`repro.resilience.policy`);
+2. **rebuild** — ``BrokenProcessPool`` (a worker died abruptly) tears
+   down the executor, builds a fresh one on the same shared-memory
+   blocks, and re-dispatches *every* in-flight ticket — not just the
+   one whose result raised;
+3. **serial fallback** — a ticket that exhausts its retry budget is
+   executed in-process.  The fallback runs the exact task function on
+   the exact arguments, so a poisoned batch costs throughput, never
+   correctness; a genuinely deterministic task error surfaces from the
+   fallback with its original traceback.
+
+Because callers consume results strictly in submission order (the
+engine's existing determinism contract), recovery can replace *when*
+and *where* a batch runs without ever changing *what* is committed:
+output stays byte-identical to the serial run under any fault schedule.
+
+Fault injection (:class:`~repro.resilience.faults.FaultPlan`) hooks in
+at exactly two points — task submission (crash/error faults swap in a
+sabotage task) and result collection (timeout faults) — so the recovery
+paths exercised under injection are the identical code paths real
+faults take.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from ..obs.tracer import NULL_TRACER
+from ..resilience.faults import (
+    InjectedFault,
+    injected_task_error,
+    injected_worker_crash,
+)
+from ..resilience.policy import ResilienceOptions, backoff_delay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExecutionEngine
+
+__all__ = ["ResilientDispatcher", "Ticket"]
+
+
+class Ticket:
+    """One supervised task: what to run, plus its live attempt state."""
+
+    __slots__ = ("fn", "args", "key", "attempt", "future")
+
+    def __init__(self, fn: Callable, args: Tuple, key: str) -> None:
+        self.fn = fn
+        self.args = args
+        self.key = key
+        self.attempt = 0
+        self.future = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ticket(key={self.key!r}, attempt={self.attempt})"
+
+
+class ResilientDispatcher:
+    """Applies a :class:`RetryPolicy` to an execution engine's pool.
+
+    ``sleep`` is injectable so tests can run retry storms without
+    real backoff waits.
+    """
+
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        options: Optional[ResilienceOptions] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._engine = engine
+        self.options = options or ResilienceOptions()
+        self._sleep = sleep
+        self._outstanding: List[Ticket] = []
+
+    # -- submission --------------------------------------------------
+    def submit(self, fn: Callable, /, *args, key: str = "") -> Ticket:
+        """Dispatch a task under supervision; returns its ticket."""
+        ticket = Ticket(fn, args, key)
+        self._start(ticket)
+        self._outstanding.append(ticket)
+        return ticket
+
+    def _start(self, ticket: Ticket) -> None:
+        """(Re-)dispatch one ticket, applying crash/error injection."""
+        plan = self.options.fault_plan
+        stats = self.options.stats
+        if plan is not None and plan.decide(
+            "crash", ticket.key, ticket.attempt
+        ):
+            stats.inject("crash")
+            ticket.future = self._engine.submit(injected_worker_crash)
+        elif plan is not None and plan.decide(
+            "error", ticket.key, ticket.attempt
+        ):
+            stats.inject("error")
+            ticket.future = self._engine.submit(
+                injected_task_error, ticket.key
+            )
+        else:
+            ticket.future = self._engine.submit(ticket.fn, *ticket.args)
+
+    # -- collection --------------------------------------------------
+    def result(self, ticket: Ticket, tracer=NULL_TRACER):
+        """Block for a ticket's result, driving the recovery ladder."""
+        policy = self.options.policy
+        plan = self.options.fault_plan
+        stats = self.options.stats
+        while True:
+            cause = None
+            if plan is not None and plan.decide(
+                "timeout", ticket.key, ticket.attempt
+            ):
+                # Simulated deadline: don't wait for the (healthy)
+                # future — recovery proceeds exactly as for a real one.
+                stats.inject("timeout")
+                cause = "timeout"
+            else:
+                try:
+                    value = ticket.future.result(timeout=policy.timeout)
+                except FutureTimeout:
+                    cause = "timeout"
+                except BrokenProcessPool:
+                    cause = "broken_pool"
+                except InjectedFault:
+                    cause = "task_error"
+                except Exception:
+                    # Transient task failures retry; a deterministic bug
+                    # exhausts the budget and re-raises from the serial
+                    # fallback with its original traceback.
+                    cause = "task_error"
+                else:
+                    self._discard(ticket)
+                    return value
+
+            ticket.attempt += 1
+            if cause == "timeout":
+                stats.timeouts += 1
+            if cause == "broken_pool":
+                stats.pool_rebuilds += 1
+                self._engine.rebuild()
+            if ticket.attempt > policy.max_retries:
+                self._discard(ticket)
+                stats.serial_fallbacks += 1
+                with tracer.span(
+                    "recovery",
+                    action="serial_fallback",
+                    key=ticket.key,
+                    cause=cause,
+                ):
+                    return ticket.fn(*ticket.args)
+            stats.retries += 1
+            with tracer.span(
+                "recovery",
+                action="retry",
+                key=ticket.key,
+                cause=cause,
+                attempt=ticket.attempt,
+            ):
+                delay = backoff_delay(policy, ticket.attempt, ticket.key)
+                if delay > 0:
+                    self._sleep(delay)
+                if cause == "broken_pool":
+                    # Every outstanding future died with the pool;
+                    # re-dispatch them all onto the fresh executor.
+                    for other in self._outstanding:
+                        self._start(other)
+                else:
+                    self._start(ticket)
+
+    def _discard(self, ticket: Ticket) -> None:
+        try:
+            self._outstanding.remove(ticket)
+        except ValueError:  # pragma: no cover - already collected
+            pass

@@ -1,0 +1,70 @@
+"""Fault tolerance for the parallel pipelines.
+
+Darwin-WGA's throughput argument rests on fanning thousands of
+independent work units across processing elements; at production scale
+some of those units *will* hit a dying worker, a stalled batch or a
+corrupted artifact.  This package holds the policy side of surviving
+that without changing a single output byte:
+
+* :class:`RetryPolicy` / :func:`backoff_delay` — bounded retries with
+  deterministic (seeded, never wall-clock-driven) exponential backoff;
+* :class:`FaultPlan` — a seeded schedule of injected faults (worker
+  crashes, timeouts, task errors, cache corruption) so every recovery
+  path is provable in tests and CI;
+* :class:`RunManifest` — an append-only journal of completed
+  chromosome-pair units with config/genome digests, powering
+  ``--resume``;
+* :class:`RecoveryStats` — counters proving which recovery paths
+  actually executed during a run.
+
+The mechanism side (the dispatcher that applies the policy to a live
+process pool) lives up the DAG in :mod:`repro.parallel.supervise`; this
+package stays importable by every layer and imports nothing above
+:mod:`repro.obs`.
+"""
+
+from .checkpoint import (
+    MANIFEST_VERSION,
+    ManifestError,
+    ManifestMismatch,
+    RunManifest,
+    config_digest,
+    sequences_digest,
+)
+from .faults import (
+    DEFAULT_RATES,
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFault,
+    corrupt_file,
+    injected_task_error,
+    injected_worker_crash,
+)
+from .policy import (
+    RecoveryStats,
+    ResilienceOptions,
+    RetryPolicy,
+    backoff_delay,
+    stable_fraction,
+)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "FAULT_KINDS",
+    "MANIFEST_VERSION",
+    "FaultPlan",
+    "InjectedFault",
+    "ManifestError",
+    "ManifestMismatch",
+    "RecoveryStats",
+    "ResilienceOptions",
+    "RetryPolicy",
+    "RunManifest",
+    "backoff_delay",
+    "config_digest",
+    "corrupt_file",
+    "injected_task_error",
+    "injected_worker_crash",
+    "sequences_digest",
+    "stable_fraction",
+]

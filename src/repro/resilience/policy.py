@@ -1,0 +1,147 @@
+"""Retry policy, deterministic backoff, and recovery accounting.
+
+The resilience layer never consults a wall clock to make a decision:
+backoff delays (including jitter) are pure functions of a seed, the
+work-unit key and the attempt number, so two runs that hit the same
+fault schedule recover through exactly the same sequence of actions.
+The only wall-clock interaction is *sleeping* for the computed delay,
+which cannot influence results — the dispatch layer replays results in
+submission order regardless of when they arrive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultPlan
+
+__all__ = [
+    "RecoveryStats",
+    "ResilienceOptions",
+    "RetryPolicy",
+    "backoff_delay",
+    "stable_fraction",
+]
+
+
+def stable_fraction(*parts) -> float:
+    """Deterministic hash of ``parts`` mapped into ``[0, 1)``.
+
+    The basis for every seeded decision in the layer (jitter, fault
+    schedules): identical inputs give identical fractions on every
+    platform and run, unlike anything derived from ``id()``, dict order
+    or a clock.
+    """
+    text = "|".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budget and pacing for supervised dispatch.
+
+    ``timeout`` is the per-attempt deadline in seconds (None disables
+    deadlines).  ``max_retries`` bounds *re-dispatches*; once exhausted
+    the batch is executed serially in-process, so a poisoned batch
+    degrades throughput but never correctness.  ``jitter`` spreads the
+    exponential backoff by a deterministic ±fraction derived from
+    ``seed`` and the work-unit key (never from a clock).
+    """
+
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.02
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+
+def backoff_delay(policy: RetryPolicy, attempt: int, key: str = "") -> float:
+    """Seconds to pause before retry number ``attempt`` (1-based).
+
+    Exponential in the attempt number with deterministic jitter: the
+    same (policy, attempt, key) always yields the same delay.
+    """
+    if attempt <= 0 or policy.backoff_base <= 0:
+        return 0.0
+    delay = policy.backoff_base * policy.backoff_multiplier ** (attempt - 1)
+    if policy.jitter > 0:
+        swing = 2.0 * stable_fraction(policy.seed, key, attempt) - 1.0
+        delay *= 1.0 + policy.jitter * swing
+    return max(0.0, delay)
+
+
+@dataclass
+class RecoveryStats:
+    """Counters proving which recovery paths executed during a run.
+
+    Mutated by the dispatcher, the seed-index cache and the
+    checkpointing assembly aligner; surfaced in CLI output and run
+    reports so a chaos run can assert "the output is identical *and*
+    the recovery machinery actually fired".
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    resumed_units: int = 0
+    journaled_units: int = 0
+    quarantined_entries: int = 0
+    injected_faults: Dict[str, int] = field(default_factory=dict)
+
+    def inject(self, kind: str) -> None:
+        """Count one injected fault of ``kind``."""
+        self.injected_faults[kind] = self.injected_faults.get(kind, 0) + 1
+
+    @property
+    def recovered(self) -> bool:
+        """Whether any recovery path (not mere injection) executed."""
+        return any(
+            (
+                self.retries,
+                self.timeouts,
+                self.pool_rebuilds,
+                self.serial_fallbacks,
+                self.resumed_units,
+                self.quarantined_entries,
+            )
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "resumed_units": self.resumed_units,
+            "journaled_units": self.journaled_units,
+            "quarantined_entries": self.quarantined_entries,
+            "injected_faults": dict(self.injected_faults),
+        }
+
+    def merge(self, other: "RecoveryStats") -> None:
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_rebuilds += other.pool_rebuilds
+        self.serial_fallbacks += other.serial_fallbacks
+        self.resumed_units += other.resumed_units
+        self.journaled_units += other.journaled_units
+        self.quarantined_entries += other.quarantined_entries
+        for kind, count in other.injected_faults.items():
+            self.injected_faults[kind] = (
+                self.injected_faults.get(kind, 0) + count
+            )
+
+
+@dataclass
+class ResilienceOptions:
+    """One bundle threaded from the CLI down to engine and cache."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional["FaultPlan"] = None
+    stats: RecoveryStats = field(default_factory=RecoveryStats)

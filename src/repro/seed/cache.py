@@ -10,6 +10,14 @@ SHA-256 over the target's code array and the seed parameters;
 index layout changes invalidates every stale entry without any cleanup
 logic.  Writes are atomic (temp file + ``os.replace``) so concurrent
 processes warming the same key never observe a torn file.
+
+Integrity: every entry carries a ``.sha256`` sidecar written after the
+data file lands.  A load first verifies the sidecar digest against the
+file's bytes; on mismatch the entry is **quarantined** (renamed to
+``*.quarantined`` for post-mortem rather than silently deleted) and
+rebuilt from the sequence.  A missing sidecar — an interrupted writer —
+is an ordinary miss.  Either way a bit-flipped cache can cost a rebuild,
+never a wrong alignment.
 """
 
 from __future__ import annotations
@@ -18,19 +26,22 @@ import hashlib
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..genome.sequence import Sequence
 from ..obs.tracer import NULL_TRACER
+from ..resilience.faults import corrupt_file
+from ..resilience.policy import ResilienceOptions
 from .index import SeedIndex
 from .patterns import SpacedSeed
 
 __all__ = ["CACHE_VERSION", "SeedIndexCache", "index_cache_key"]
 
 #: Bump when the on-disk entry layout or SeedIndex.build output changes.
-CACHE_VERSION = 1
+#: v2: entries gained the .sha256 integrity sidecar.
+CACHE_VERSION = 2
 
 
 def index_cache_key(target: Sequence, seed: SpacedSeed) -> str:
@@ -46,23 +57,58 @@ def index_cache_key(target: Sequence, seed: SpacedSeed) -> str:
     return digest.hexdigest()
 
 
+def _file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
 class SeedIndexCache:
     """Directory of cached seed indexes, keyed by content hash.
 
     The cache only stores the arrays; the :class:`SpacedSeed` itself is
     re-supplied by the caller (it is part of the key, so a loaded entry
-    always matches).  Corrupted or unreadable entries are treated as
-    misses and rebuilt in place.
+    always matches).  Corrupted entries are quarantined and rebuilt;
+    unreadable ones are treated as misses and rebuilt in place.
+
+    ``resilience`` supplies the fault-injection plan (``corrupt`` faults
+    flip a byte of freshly stored entries) and the counters that record
+    quarantines; a cache without it behaves identically minus injection.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        resilience: Optional[ResilienceOptions] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.resilience = resilience
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        #: Stores per key, the "attempt" axis of corrupt-fault decisions
+        #: (so a rebuild after quarantine re-rolls, and rate<1 plans
+        #: cannot corrupt the same entry forever).
+        self._store_counts: Dict[str, int] = {}
 
     def _entry_path(self, key: str) -> Path:
         return self.directory / f"seedindex-{key}.npz"
+
+    def _checksum_path(self, path: Path) -> Path:
+        return Path(f"{path}.sha256")
+
+    def _quarantine(self, path: Path, checksum_path: Path) -> None:
+        """Move a corrupt entry aside (kept for post-mortem, not trusted)."""
+        self.quarantined += 1
+        if self.resilience is not None:
+            self.resilience.stats.quarantined_entries += 1
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:  # pragma: no cover - lost a race with a writer
+            pass
+        try:
+            checksum_path.unlink()
+        except OSError:
+            pass
 
     def load(
         self, target: Sequence, seed: SpacedSeed
@@ -70,6 +116,16 @@ class SeedIndexCache:
         """The cached index for ``(target, seed)``, or None on a miss."""
         path = self._entry_path(index_cache_key(target, seed))
         if not path.exists():
+            return None
+        checksum_path = self._checksum_path(path)
+        try:
+            expected = checksum_path.read_text().strip()
+        except OSError:
+            # No sidecar: the writer died between data and checksum.
+            # The data may well be fine, but unverifiable = a miss.
+            return None
+        if _file_digest(path) != expected:
+            self._quarantine(path, checksum_path)
             return None
         try:
             with np.load(path) as entry:
@@ -80,8 +136,8 @@ class SeedIndexCache:
                     target_length=int(entry["target_length"]),
                 )
         except (OSError, ValueError, KeyError, EOFError):
-            # Torn or truncated entry (e.g. an interrupted writer before
-            # atomic replace existed in the tree): drop and rebuild.
+            # Checksum matched but the payload predates this reader's
+            # format expectations (or numpy cannot parse it): rebuild.
             try:
                 path.unlink()
             except OSError:
@@ -94,8 +150,15 @@ class SeedIndexCache:
     def store(
         self, target: Sequence, seed: SpacedSeed, index: SeedIndex
     ) -> Path:
-        """Persist ``index`` under the content key; atomic vs. readers."""
-        path = self._entry_path(index_cache_key(target, seed))
+        """Persist ``index`` under the content key; atomic vs. readers.
+
+        The data file is replaced first, then its ``.sha256`` sidecar:
+        a reader interleaving with the replacement sees at worst a
+        data/sidecar mismatch, which quarantines and rebuilds — never a
+        silently wrong index.
+        """
+        key = index_cache_key(target, seed)
+        path = self._entry_path(key)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=path.name, suffix=".tmp"
         )
@@ -107,6 +170,7 @@ class SeedIndexCache:
                     sorted_positions=index.sorted_positions,
                     target_length=np.int64(index.target_length),
                 )
+            digest = _file_digest(Path(tmp_name))
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -114,7 +178,22 @@ class SeedIndexCache:
             except OSError:
                 pass
             raise
+        self._checksum_path(path).write_text(digest + "\n")
+        self._maybe_corrupt(key, path)
         return path
+
+    def _maybe_corrupt(self, key: str, path: Path) -> None:
+        """Apply a scheduled ``corrupt`` fault to a just-stored entry."""
+        options = self.resilience
+        if options is None or options.fault_plan is None:
+            return
+        attempt = self._store_counts.get(key, 0)
+        self._store_counts[key] = attempt + 1
+        if options.fault_plan.decide("corrupt", f"cache:{key}", attempt):
+            # Flipping a byte *after* the sidecar lands models silent
+            # media corruption; the next load must catch and quarantine.
+            corrupt_file(path, seed=options.fault_plan.seed)
+            options.stats.inject("corrupt")
 
     def get_or_build(
         self,

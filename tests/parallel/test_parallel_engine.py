@@ -1,5 +1,7 @@
 """Determinism and mechanics of the parallel execution engine."""
 
+from concurrent.futures.process import BrokenProcessPool
+
 import numpy as np
 import pytest
 
@@ -49,10 +51,51 @@ class TestEngine:
 
     def test_batch_sizing(self):
         with ExecutionEngine(4) as engine:
-            assert engine.batch_size_for(10) == 1
             assert engine.batch_size_for(320) == 10
             assert engine.batch_size_for(100_000) == 32
             assert engine.batch_size_for(100_000, chunk_size=7) == 7
+
+    def test_batch_sizing_floors_small_inputs(self):
+        # Small inputs must not degenerate into per-anchor round trips:
+        # aim for min(items, workers) balanced batches instead.
+        with ExecutionEngine(4) as engine:
+            assert engine.batch_size_for(10) == 3  # 4 batches of <=3
+            assert engine.batch_size_for(4) == 1  # one anchor per worker
+            assert engine.batch_size_for(3) == 1
+            assert engine.batch_size_for(1) == 1
+            assert engine.batch_size_for(0) == 1
+        with ExecutionEngine(8) as engine:
+            assert engine.batch_size_for(20) == 3  # ceil(20/8), 7 batches
+
+    def test_share_holds_strong_reference(self, rng):
+        # Dedup is by id(); the engine must pin the sequence so a
+        # garbage-collected id cannot be recycled onto a new object and
+        # silently alias the old shared-memory block.
+        seq = markov_genome(500, rng)
+        with ExecutionEngine(2) as engine:
+            handle = engine.share(seq)
+            entry = engine._shared[id(seq)]
+            assert entry[0] is seq
+            assert entry[1] is handle
+
+    def test_rebuild_replaces_broken_pool(self):
+        from repro.resilience import injected_worker_crash
+
+        with ExecutionEngine(2) as engine:
+            future = engine.submit(injected_worker_crash)
+            with pytest.raises(BrokenProcessPool):
+                future.result()
+            engine.rebuild()
+            assert engine.submit(int, "7").result() == 7
+
+    def test_release_blocks_is_idempotent(self, rng):
+        engine = ExecutionEngine(2)
+        engine.share(markov_genome(500, rng))
+        assert engine._blocks
+        engine.release_blocks()
+        assert not engine._blocks and not engine._shared
+        engine.release_blocks()
+        engine.close()
 
     def test_closed_engine_rejects_work(self):
         engine = ExecutionEngine(2)
@@ -60,6 +103,8 @@ class TestEngine:
         assert not engine.active
         with pytest.raises(RuntimeError):
             engine.submit(len, ())
+        with pytest.raises(RuntimeError):
+            engine.rebuild()
 
 
 class TestAnchorParallelism:

@@ -1,0 +1,87 @@
+"""Fault plans: parsing, deterministic scheduling, file corruption."""
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_RATES,
+    FaultPlan,
+    corrupt_file,
+)
+
+
+class TestFaultPlanParse:
+    def test_seed_only_uses_default_rates(self):
+        plan = FaultPlan.parse("7")
+        assert plan.seed == 7
+        assert dict(plan.rates) == DEFAULT_RATES
+
+    def test_explicit_rates(self):
+        plan = FaultPlan.parse("3:crash=0.5,corrupt=1.0")
+        assert plan.seed == 3
+        assert dict(plan.rates) == {"crash": 0.5, "corrupt": 1.0}
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.parse("lots")
+
+    def test_rejects_malformed_rate(self):
+        with pytest.raises(ValueError, match="kind=rate"):
+            FaultPlan.parse("1:crash")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("1:meteor=0.5")
+
+
+class TestFaultPlanDecide:
+    def test_deterministic(self):
+        plan = FaultPlan(seed=11, rates={"crash": 0.3})
+        decisions = [plan.decide("crash", f"u{i}") for i in range(100)]
+        assert decisions == [
+            plan.decide("crash", f"u{i}") for i in range(100)
+        ]
+        assert any(decisions) and not all(decisions)
+
+    def test_rate_extremes(self):
+        plan = FaultPlan(seed=0, rates={"crash": 1.0, "error": 0.0})
+        assert plan.decide("crash", "anything")
+        assert not plan.decide("error", "anything")
+        assert not plan.decide("timeout", "unlisted kind never fires")
+
+    def test_attempt_axis_rerolls(self):
+        plan = FaultPlan(seed=5, rates={"timeout": 0.5})
+        decisions = {
+            plan.decide("timeout", "unit", attempt) for attempt in range(20)
+        }
+        assert decisions == {True, False}
+
+    def test_seed_changes_schedule(self):
+        keys = [f"u{i}" for i in range(64)]
+        a = FaultPlan(seed=1, rates={"crash": 0.5})
+        b = FaultPlan(seed=2, rates={"crash": 0.5})
+        assert [a.decide("crash", k) for k in keys] != [
+            b.decide("crash", k) for k in keys
+        ]
+
+
+class TestCorruptFile:
+    def test_flips_one_byte_deterministically(self, tmp_path):
+        path = tmp_path / "blob"
+        payload = bytes(range(256))
+        path.write_bytes(payload)
+        offset = corrupt_file(path, seed=9)
+        corrupted = path.read_bytes()
+        assert len(corrupted) == len(payload)
+        diffs = [
+            i for i, (a, b) in enumerate(zip(payload, corrupted)) if a != b
+        ]
+        assert diffs == [offset]
+        # Same seed and size -> same offset on a fresh copy.
+        path.write_bytes(payload)
+        assert corrupt_file(path, seed=9) == offset
+
+    def test_empty_file_untouched(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        assert corrupt_file(path, seed=1) is None
+        assert path.read_bytes() == b""

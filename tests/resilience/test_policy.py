@@ -1,0 +1,105 @@
+"""Retry policy: deterministic jitter, backoff shape, stats accounting."""
+
+import pytest
+
+from repro.resilience import (
+    RecoveryStats,
+    RetryPolicy,
+    backoff_delay,
+    stable_fraction,
+)
+
+
+class TestStableFraction:
+    def test_deterministic_and_bounded(self):
+        values = [stable_fraction(7, "crash", f"unit{i}") for i in range(200)]
+        assert values == [
+            stable_fraction(7, "crash", f"unit{i}") for i in range(200)
+        ]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_sensitive_to_every_part(self):
+        base = stable_fraction(0, "a", "b")
+        assert stable_fraction(1, "a", "b") != base
+        assert stable_fraction(0, "x", "b") != base
+        assert stable_fraction(0, "a", "c") != base
+
+    def test_roughly_uniform(self):
+        values = [stable_fraction("u", i) for i in range(1000)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+
+
+class TestBackoffDelay:
+    def test_zero_before_first_retry(self):
+        policy = RetryPolicy()
+        assert backoff_delay(policy, 0) == 0.0
+        assert backoff_delay(policy, -1) == 0.0
+
+    def test_disabled_base_disables_backoff(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert backoff_delay(policy, 3) == 0.0
+
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base=0.01, backoff_multiplier=2.0, jitter=0.0
+        )
+        assert backoff_delay(policy, 1) == pytest.approx(0.01)
+        assert backoff_delay(policy, 2) == pytest.approx(0.02)
+        assert backoff_delay(policy, 3) == pytest.approx(0.04)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.01, jitter=0.5, seed=3)
+        delays = [backoff_delay(policy, 1, f"k{i}") for i in range(50)]
+        assert delays == [
+            backoff_delay(policy, 1, f"k{i}") for i in range(50)
+        ]
+        assert len(set(delays)) > 1  # keys actually spread the delays
+        for delay in delays:
+            assert 0.005 <= delay <= 0.015
+
+    def test_seed_changes_jitter(self):
+        a = RetryPolicy(jitter=0.5, seed=0)
+        b = RetryPolicy(jitter=0.5, seed=1)
+        assert backoff_delay(a, 1, "k") != backoff_delay(b, 1, "k")
+
+
+class TestRecoveryStats:
+    def test_starts_clean(self):
+        stats = RecoveryStats()
+        assert not stats.recovered
+        assert stats.as_dict()["injected_faults"] == {}
+
+    def test_inject_counts_by_kind(self):
+        stats = RecoveryStats()
+        stats.inject("crash")
+        stats.inject("crash")
+        stats.inject("timeout")
+        assert stats.injected_faults == {"crash": 2, "timeout": 1}
+        # Injection alone is not recovery: only recovery actions count.
+        assert not stats.recovered
+
+    def test_recovered_tracks_recovery_paths(self):
+        for field in (
+            "retries",
+            "timeouts",
+            "pool_rebuilds",
+            "serial_fallbacks",
+            "resumed_units",
+            "quarantined_entries",
+        ):
+            stats = RecoveryStats()
+            setattr(stats, field, 1)
+            assert stats.recovered, field
+
+    def test_merge_accumulates(self):
+        a = RecoveryStats(retries=1, serial_fallbacks=2)
+        a.inject("error")
+        b = RecoveryStats(retries=3, journaled_units=4)
+        b.inject("error")
+        b.inject("corrupt")
+        a.merge(b)
+        assert a.retries == 4
+        assert a.serial_fallbacks == 2
+        assert a.journaled_units == 4
+        assert a.injected_faults == {"error": 2, "corrupt": 1}

@@ -85,6 +85,54 @@ class TestSeedIndexCache:
             rebuilt.sorted_words, fresh.sorted_words
         )
 
+    def test_checksum_mismatch_quarantines(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        (entry,) = tmp_path.glob("seedindex-*.npz")
+        payload = bytearray(entry.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        entry.write_bytes(bytes(payload))
+        assert cache.load(target, seed) is None
+        assert cache.quarantined == 1
+        assert not entry.exists()
+        assert (tmp_path / f"{entry.name}.quarantined").exists()
+        rebuilt = cache.get_or_build(target, seed)
+        fresh = SeedIndex.build(target, seed)
+        np.testing.assert_array_equal(
+            rebuilt.sorted_words, fresh.sorted_words
+        )
+
+    def test_missing_checksum_is_a_plain_miss(self, tmp_path, target, seed):
+        cache = SeedIndexCache(tmp_path)
+        cache.get_or_build(target, seed)
+        (sidecar,) = tmp_path.glob("seedindex-*.sha256")
+        sidecar.unlink()
+        assert cache.load(target, seed) is None
+        assert cache.quarantined == 0
+        assert not list(tmp_path.glob("*.quarantined"))
+
+    def test_injected_corruption_recovers(self, tmp_path, target, seed):
+        from repro.resilience import FaultPlan, ResilienceOptions
+
+        options = ResilienceOptions(
+            fault_plan=FaultPlan(seed=4, rates={"corrupt": 1.0})
+        )
+        cache = SeedIndexCache(tmp_path, resilience=options)
+        cache.get_or_build(target, seed)
+        assert options.stats.injected_faults == {"corrupt": 1}
+        # The stored bytes were flipped: the next lookup must quarantine
+        # and rebuild rather than hand back a poisoned index.
+        rebuilt = cache.get_or_build(target, seed)
+        assert cache.quarantined == 1
+        assert options.stats.quarantined_entries == 1
+        fresh = SeedIndex.build(target, seed)
+        np.testing.assert_array_equal(
+            rebuilt.sorted_words, fresh.sorted_words
+        )
+        np.testing.assert_array_equal(
+            rebuilt.sorted_positions, fresh.sorted_positions
+        )
+
     def test_records_cache_attribute_on_span(self, tmp_path, target, seed):
         from repro.obs import Tracer
 

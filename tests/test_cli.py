@@ -253,6 +253,111 @@ class TestTblastx:
         assert "translated hits" in capsys.readouterr().out
 
 
+@pytest.fixture
+def assemblies(tmp_path):
+    code = main(
+        [
+            "generate",
+            "--length",
+            "3000",
+            "--chromosomes",
+            "2",
+            "--distance",
+            "0.4",
+            "--seed",
+            "3",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    return tmp_path
+
+
+class TestRobustness:
+    def test_generate_chromosomes_writes_multi_fasta(self, assemblies):
+        target = (assemblies / "target.fa").read_text()
+        names = [
+            line[1:].split()[0]
+            for line in target.splitlines()
+            if line.startswith(">")
+        ]
+        assert names == ["target_chr1", "target_chr2"]
+        bed_names = {
+            row.split("\t")[0]
+            for row in (assemblies / "target_exons.bed")
+            .read_text()
+            .splitlines()
+        }
+        assert bed_names <= {"target_chr1", "target_chr2"}
+
+    def test_fault_injection_matches_serial(self, assemblies, capsys):
+        serial = assemblies / "serial.maf"
+        chaos = assemblies / "chaos.maf"
+        args = [
+            "align",
+            str(assemblies / "target.fa"),
+            str(assemblies / "query.fa"),
+        ]
+        assert main(args + ["--out", str(serial)]) == 0
+        code = main(
+            args
+            + [
+                "--out",
+                str(chaos),
+                "--workers",
+                "2",
+                "--inject-faults",
+                "2:error=0.6",
+            ]
+        )
+        assert code == 0
+        assert chaos.read_bytes() == serial.read_bytes()
+        assert "recovery" in capsys.readouterr().out
+
+    def test_checkpoint_resume_roundtrip(self, assemblies, capsys):
+        full = assemblies / "full.maf"
+        resumed = assemblies / "resumed.maf"
+        manifest = assemblies / "run.manifest"
+        args = [
+            "align",
+            str(assemblies / "target.fa"),
+            str(assemblies / "query.fa"),
+        ]
+        code = main(
+            args + ["--out", str(full), "--checkpoint", str(manifest)]
+        )
+        assert code == 0
+        lines = manifest.read_text().splitlines()
+        assert len(lines) == 5  # header + 2x2 chromosome pairs
+        # Drop the last two journaled units to simulate an interrupt.
+        manifest.write_text("\n".join(lines[:3]) + "\n")
+        code = main(
+            args
+            + [
+                "--out",
+                str(resumed),
+                "--checkpoint",
+                str(manifest),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        assert resumed.read_bytes() == full.read_bytes()
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint(self, assemblies):
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(
+                [
+                    "align",
+                    str(assemblies / "target.fa"),
+                    str(assemblies / "query.fa"),
+                    "--resume",
+                ]
+            )
+
+
 class TestParser:
     def test_requires_command(self):
         parser = build_parser()
