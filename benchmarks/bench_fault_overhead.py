@@ -14,6 +14,13 @@ Two measurements, both merged into ``BENCH_PIPELINE.json`` under
 The target is <5% fault-free overhead for each; wall-clock noise on
 tiny containers can exceed that, so the hard assertions here are on
 output identity and the artifact carries the measured numbers.
+
+Methodology notes: the pool is warmed (every worker has executed a
+task) before either dispatch path is timed — an unpaid pool startup
+lands entirely on whichever path runs first and once produced a
+nonsensical −29% "overhead".  Overheads are recorded *signed*; the
+``repro bench check`` gate fails only on slowdowns beyond the target
+and flags suspiciously negative values as measurement artifacts.
 """
 
 import json
@@ -39,6 +46,10 @@ OVERHEAD_TARGET = 0.05
 WORKERS = 2
 DISPATCH_TASKS = 64
 TASK_SIZE = 200_000
+WARMUP_TASKS = WORKERS * 4
+#: Repetitions per timed path; the minimum is reported.  One-shot
+#: timings of ~40 ms dispatch sweeps are dominated by scheduler noise.
+DISPATCH_REPEATS = 3
 
 
 def dot_task(size, lane):
@@ -58,6 +69,8 @@ def _record_overhead(pair_name, entry):
         pair=pair_name,
         genome_length=GENOME_LENGTH,
         workers=WORKERS,
+        warmup_tasks=WARMUP_TASKS,
+        dispatch_repeats=DISPATCH_REPEATS,
         target=OVERHEAD_TARGET,
         identical_output=True,
     )
@@ -77,21 +90,34 @@ def _split_assembly(genome, prefix):
     )
 
 
+def _warm_pool(engine):
+    """Pay pool startup before any timed path (see module docstring)."""
+    futures = [
+        engine.submit(dot_task, 1024, lane) for lane in range(WARMUP_TASKS)
+    ]
+    for future in futures:
+        future.result()
+
+
 def _time_dispatch(engine, supervised):
-    start = time.perf_counter()
-    if supervised:
-        tickets = [
-            engine.dispatch(dot_task, TASK_SIZE, lane, key=f"lane{lane}")
-            for lane in range(DISPATCH_TASKS)
-        ]
-        values = [engine.result(t) for t in tickets]
-    else:
-        futures = [
-            engine.submit(dot_task, TASK_SIZE, lane)
-            for lane in range(DISPATCH_TASKS)
-        ]
-        values = [f.result() for f in futures]
-    return values, time.perf_counter() - start
+    best = None
+    for _ in range(DISPATCH_REPEATS):
+        start = time.perf_counter()
+        if supervised:
+            tickets = [
+                engine.dispatch(dot_task, TASK_SIZE, lane, key=f"lane{lane}")
+                for lane in range(DISPATCH_TASKS)
+            ]
+            values = [engine.result(t) for t in tickets]
+        else:
+            futures = [
+                engine.submit(dot_task, TASK_SIZE, lane)
+                for lane in range(DISPATCH_TASKS)
+            ]
+            values = [f.result() for f in futures]
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return values, best
 
 
 @pytest.mark.benchmark(group="fault_overhead")
@@ -110,6 +136,7 @@ def test_fault_free_overhead(benchmark, tmp_path):
     def sweep():
         timings = {}
         with ExecutionEngine(WORKERS) as engine:
+            _warm_pool(engine)
             raw_values, timings["dispatch_raw"] = _time_dispatch(
                 engine, supervised=False
             )

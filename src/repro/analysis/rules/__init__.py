@@ -5,6 +5,7 @@ Rule id blocks:
 * ``DET0xx`` — determinism (RNG seeding, wall clocks, set ordering)
 * ``LAY0xx`` — layering / import-graph DAG
 * ``KER0xx`` — DP-kernel and general hygiene
+* ``OBS0xx`` — observability (sampling locality, worker stdout)
 * ``PAR0xx`` — parallel-dispatch pickling safety
 * ``RES0xx`` — resilience / recovery-path hygiene
 * ``SUP0xx`` / ``PARSE`` — engine-reserved (see ``registry.ENGINE_RULES``)
@@ -14,6 +15,7 @@ from . import (  # noqa: F401
     determinism,
     kernel,
     layering,
+    obs,
     parallel,
     resilience,
 )

@@ -1,0 +1,127 @@
+"""Observability rules.
+
+The repro.obs v2 telemetry bus gives every process exactly one sampling
+substrate and one output channel: resource/CPU sampling lives in
+:mod:`repro.obs.resource`, and workers talk to the terminal only through
+the bus (the parent owns stdout).  These rules keep ad-hoc probes and
+rogue worker prints from growing back.
+
+* ``OBS001`` — CPU-time / rusage sampling outside ``repro.obs``.
+  Complements DET003 (wall clocks): ``time.process_time`` and
+  ``resource.getrusage`` don't break determinism, but scattering them
+  through pipeline code produces unmergeable one-off measurements; all
+  sampling should flow through :func:`repro.obs.resource.sample_resources`
+  so it lands in the shared registry with canonical bucket edges.
+* ``OBS002`` — stdout writes from worker-process code (module-level
+  ``*_task`` functions, or anywhere in a ``worker`` module).  Worker
+  prints interleave corruptly across processes and tear the parent's
+  live progress line; anything a worker wants seen must ride the
+  telemetry bus.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import import_aliases, resolve_origin
+from ..findings import Finding, Severity
+from ..registry import module_rule
+
+#: CPU/rusage sampling calls that belong in repro.obs.resource.  Kept
+#: disjoint from determinism's ``_WALL_CLOCKS`` — those are DET003's.
+_SAMPLING_CALLS = {
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "resource.getrusage",
+    "resource.getpagesize",
+}
+
+
+@module_rule(
+    "OBS001",
+    "adhoc-sampling",
+    Severity.ERROR,
+    "CPU-time/rusage sampling outside repro.obs",
+)
+def check_adhoc_sampling(module) -> Iterator[Finding]:
+    if module.modname.startswith("repro.obs"):
+        return
+    aliases = import_aliases(module.tree, module.modname)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = resolve_origin(node.func, aliases)
+        if origin in _SAMPLING_CALLS:
+            yield Finding(
+                rule="OBS001",
+                severity=Severity.ERROR,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{origin}() outside repro.obs — sample through "
+                    "repro.obs.resource so measurements land in the "
+                    "shared metric registry instead of one-off probes"
+                ),
+            )
+
+
+def _is_stdout_write(node: ast.Call, aliases) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "print":
+        # print(..., file=...) targeting something other than stdout is
+        # not a stdout write.
+        for keyword in node.keywords:
+            if keyword.arg == "file":
+                return (
+                    resolve_origin(keyword.value, aliases) == "sys.stdout"
+                )
+        return True
+    origin = resolve_origin(func, aliases)
+    return origin in ("sys.stdout.write", "sys.stdout.writelines")
+
+
+def _worker_function_spans(module):
+    """(lineno range) of every module-level ``*_task`` function."""
+    spans = []
+    for node in module.tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.name.endswith("_task"):
+            spans.append(node)
+    return spans
+
+
+@module_rule(
+    "OBS002",
+    "worker-stdout",
+    Severity.ERROR,
+    "stdout write from worker-process code",
+)
+def check_worker_stdout(module) -> Iterator[Finding]:
+    aliases = import_aliases(module.tree, module.modname)
+    whole_module = module.modname.rsplit(".", 1)[-1] == "worker"
+    if whole_module:
+        roots = [module.tree]
+    else:
+        roots = _worker_function_spans(module)
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and _is_stdout_write(
+                node, aliases
+            ):
+                yield Finding(
+                    rule="OBS002",
+                    severity=Severity.ERROR,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "stdout write in worker-process code — the "
+                        "parent owns the terminal; emit through the "
+                        "telemetry bus instead"
+                    ),
+                )

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
 import numpy as np
 
 from ..align.alignment import Alignment
+from ..obs.progress import NO_PROGRESS
 from ..obs.tracer import NULL_TRACER
 from .gap_costs import GapCosts
 
@@ -141,6 +142,7 @@ def build_chains(
     min_score: float = 0.0,
     tracer=NULL_TRACER,
     presorted: bool = False,
+    progress=NO_PROGRESS,
 ) -> List[Chain]:
     """Chain alignments into maximally scoring colinear sequences.
 
@@ -154,6 +156,9 @@ def build_chains(
     within each (target, query, strand) partition (partitioning preserves
     relative order, so a globally sorted input qualifies); the per
     partition re-sort is skipped.
+
+    ``progress`` (a :class:`repro.obs.progress.ProgressRenderer`, or
+    the default no-op sink) advances one unit per chained partition.
     """
     if gap_costs is None:
         gap_costs = GapCosts.loose()
@@ -180,6 +185,7 @@ def build_chains(
                 part_span.inc("blocks", len(blocks))
                 part_span.inc("chains", len(part_chains))
             chains.extend(part_chains)
+            progress.advance(units=1)
         chains.sort(key=lambda chain: -chain.score)
         span.inc("blocks", len(alignments))
         span.inc("partitions", len(partitions))

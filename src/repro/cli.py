@@ -14,13 +14,20 @@ description and prints the Table V-style numbers.
 Observability: ``align`` and ``chain`` accept ``--trace-out PATH`` to
 record per-stage spans into a structured JSON run report, and ``repro
 trace PATH`` renders a saved report (``--chrome OUT`` converts it to a
-Chrome ``trace_event`` file for chrome://tracing or Perfetto).
+Chrome ``trace_event`` file for chrome://tracing or Perfetto).  Both
+commands render a live status line on a TTY (``--progress`` /
+``--no-progress`` override the auto-detection); ``align --profile DIR``
+captures cProfile data for the parent and every worker; ``repro bench
+check`` gates a fresh ``BENCH_PIPELINE.json`` against the committed
+baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -33,13 +40,20 @@ from .hw import CostModel, asic_estimate
 from .io import write_assembly_maf, write_chains, write_maf
 from .lastz import LastzAligner
 from .obs import (
+    NO_PROGRESS,
     NULL_TRACER,
+    ProgressRenderer,
+    TelemetryOptions,
     Tracer,
+    compare_artifacts,
+    load_artifact,
     load_run_report,
+    profile_capture,
     render_run,
     write_chrome_trace,
     write_run_report,
 )
+from .obs.gate import render_gate
 from .resilience import FaultPlan, ResilienceOptions, RetryPolicy
 
 
@@ -181,7 +195,53 @@ def _add_align(subparsers) -> None:
         default=None,
         help="per-attempt deadline in seconds for dispatched work units",
     )
+    _add_progress_flags(parser)
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write cProfile captures (parent + every worker) into DIR",
+    )
     parser.set_defaults(func=_cmd_align)
+
+
+def _add_progress_flags(parser) -> None:
+    parser.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="force the live status line on (default: on when stderr "
+        "is a terminal)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="disable the live status line",
+    )
+
+
+def _progress_from_args(args):
+    """Resolve the --progress tri-state to a progress sink."""
+    if args.progress is False:
+        return NO_PROGRESS
+    renderer = ProgressRenderer(enabled=args.progress)
+    return renderer if renderer.enabled else NO_PROGRESS
+
+
+def _print_telemetry(summary) -> None:
+    bus = summary.get("bus") if summary else None
+    if not bus:
+        return
+    print(
+        f"telemetry: {bus['events']:,} events from "
+        f"{bus['workers']} workers; "
+        f"{bus['dropped_events']} dropped, "
+        f"{bus['lost_events']} lost, "
+        f"{bus['gap_events']} gaps"
+    )
 
 
 def _load_single(path: Path):
@@ -251,6 +311,8 @@ def _cmd_align(args) -> int:
     queries = _load_records(args.query)
     tracer = Tracer() if args.trace_out is not None else NULL_TRACER
     resilience = _resilience_from_args(args)
+    progress = _progress_from_args(args)
+    telemetry = TelemetryOptions(progress=progress, profile_dir=args.profile)
     if args.workers > 1:
         from .parallel import install_signal_cleanup
 
@@ -266,29 +328,43 @@ def _cmd_align(args) -> int:
     assembly_mode = (
         len(targets) > 1 or len(queries) > 1 or args.checkpoint is not None
     )
-    if assembly_mode:
-        result = align_assemblies(
-            targets,
-            queries,
-            config=config,
-            aligner_class=aligner_class,
-            tracer=tracer,
-            workers=args.workers,
-            index_cache=args.index_cache,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            resilience=resilience,
-        )
+    if args.profile is not None:
+        args.profile.mkdir(parents=True, exist_ok=True)
+        capture = profile_capture(args.profile / "profile-main.pstats")
     else:
-        aligner = aligner_class(
-            config,
-            tracer=tracer,
-            workers=args.workers,
-            index_cache=args.index_cache,
-            resilience=resilience,
-        )
-        with aligner:
-            result = aligner.align(targets[0], queries[0])
+        capture = nullcontext()
+    with capture:
+        if assembly_mode:
+            progress.begin("align", total=len(targets) * len(queries))
+            result = align_assemblies(
+                targets,
+                queries,
+                config=config,
+                aligner_class=aligner_class,
+                tracer=tracer,
+                workers=args.workers,
+                index_cache=args.index_cache,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                resilience=resilience,
+                telemetry=telemetry,
+            )
+        else:
+            progress.begin("align", total=1)
+            aligner = aligner_class(
+                config,
+                tracer=tracer,
+                workers=args.workers,
+                index_cache=args.index_cache,
+                resilience=resilience,
+                telemetry=telemetry,
+            )
+            with aligner:
+                result = aligner.align(targets[0], queries[0])
+            progress.advance(units=1)
+    telemetry_summary = telemetry.finish()
+    telemetry.close()
+    progress.close()
     workload = result.workload
     print(
         f"{len(result.alignments)} alignments "
@@ -298,6 +374,9 @@ def _cmd_align(args) -> int:
         f"{workload.extension_tiles:,} extension tiles"
     )
     _print_recovery(resilience.stats)
+    _print_telemetry(telemetry_summary)
+    if args.profile is not None:
+        print(f"wrote profiles to {args.profile}")
     if args.out is not None:
         if assembly_mode:
             write_assembly_maf(result.alignments, targets, queries, args.out)
@@ -316,6 +395,7 @@ def _cmd_align(args) -> int:
                 "query": str(args.query),
                 "resilience": resilience.stats.as_dict(),
             },
+            telemetry=telemetry_summary,
         )
         print(f"wrote trace {args.trace_out}")
     return 0
@@ -338,6 +418,7 @@ def _add_chain(subparsers) -> None:
         default=None,
         help="write a structured JSON trace of the run (see `repro trace`)",
     )
+    _add_progress_flags(parser)
     parser.set_defaults(func=_cmd_chain)
 
 
@@ -351,7 +432,12 @@ def _cmd_chain(args) -> int:
         GapCosts.loose() if args.linear_gap == "loose" else GapCosts.medium()
     )
     tracer = Tracer() if args.trace_out is not None else NULL_TRACER
-    chains = build_chains(alignments, gap_costs, tracer=tracer)
+    progress = _progress_from_args(args)
+    progress.begin("chain")
+    chains = build_chains(
+        alignments, gap_costs, tracer=tracer, progress=progress
+    )
+    progress.close()
     if args.trace_out is not None:
         write_run_report(
             args.trace_out,
@@ -541,6 +627,87 @@ def _cmd_tblastx(args) -> int:
     return 0
 
 
+def _add_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="benchmark-artifact utilities (perf-regression gating)",
+    )
+    bench_sub = parser.add_subparsers(dest="bench_command", required=True)
+    check = bench_sub.add_parser(
+        "check",
+        help="compare a fresh benchmark artifact against the committed "
+        "baseline with per-metric tolerance bands",
+    )
+    check.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_PIPELINE.json"),
+        help="freshly generated benchmark artifact",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline.json"),
+        help="committed baseline artifact",
+    )
+    check.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional wall-time slowdown per stage",
+    )
+    check.add_argument(
+        "--rate-tolerance",
+        type=float,
+        default=0.4,
+        help="allowed fractional throughput drop per stage rate",
+    )
+    check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report failures but exit 0 (for noisy shared runners)",
+    )
+    check.add_argument(
+        "--json",
+        dest="json_out",
+        type=Path,
+        default=None,
+        help="also write the machine-readable verdict to this path",
+    )
+    check.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print passing checks too, not just failures",
+    )
+    check.set_defaults(func=_cmd_bench_check)
+
+
+def _cmd_bench_check(args) -> int:
+    try:
+        current = load_artifact(args.current)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"{args.current}: {error}")
+    try:
+        baseline = load_artifact(args.baseline)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"{args.baseline}: {error}")
+    result = compare_artifacts(
+        current,
+        baseline,
+        wall_tolerance=args.wall_tolerance,
+        rate_tolerance=args.rate_tolerance,
+    )
+    print(render_gate(result, verbose=args.verbose))
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(result.as_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    if result.verdict == "fail" and not args.warn_only:
+        return 1
+    return 0
+
+
 def _add_lint(subparsers) -> None:
     parser = subparsers.add_parser(
         "lint",
@@ -603,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_net(subparsers)
     _add_tblastx(subparsers)
     _add_trace(subparsers)
+    _add_bench(subparsers)
     _add_lint(subparsers)
     return parser
 

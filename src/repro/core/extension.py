@@ -166,6 +166,10 @@ def _extend_parallel(
     keep_tile_traces,
 ) -> List[Alignment]:
     traced = tracer.enabled
+    telemetry = engine.telemetry
+    registry = telemetry.registry if telemetry is not None else None
+    bus = engine.bus
+    progress = engine.progress
     target_handle = engine.share(target)
     query_handle = engine.share(query)
     batch_size = engine.batch_size_for(len(anchors))
@@ -209,11 +213,22 @@ def _extend_parallel(
             )
             batch_number += 1
             in_flight.append((batch, ticket, base))
+        progress.set_in_flight(len(in_flight))
 
     dispatch()
     while in_flight:
         batch, ticket, base = in_flight.popleft()
-        results, span_dicts = engine.result(ticket, tracer=tracer)
+        results, span_dicts, ack = engine.result(ticket, tracer=tracer)
+        if registry is not None:
+            registry.histogram("queue_depth").observe(len(in_flight))
+            if ack is not None:
+                latency = tracer.now() - base - ack.get("busy", 0.0)
+                registry.histogram("dispatch_latency_seconds").observe(
+                    max(0.0, latency)
+                )
+        if bus is not None and ack is not None:
+            bus.record_ack(ack, done_at=tracer.now())
+        committed_cells = 0
         for slot, (anchor, extension) in enumerate(zip(batch, results)):
             # Replay in submission order: a batch dispatched while this
             # one was running may have been formed before these results
@@ -224,6 +239,7 @@ def _extend_parallel(
                 continue
             if traced and span_dicts is not None:
                 graft_span_dicts(tracer, [span_dicts[slot]], base=base)
+            committed_cells += extension.cells
             _commit(
                 extension,
                 grid,
@@ -232,5 +248,6 @@ def _extend_parallel(
                 seen_spans,
                 keep_tile_traces,
             )
+        progress.advance(cells=committed_cells)
         dispatch()
     return alignments

@@ -18,6 +18,8 @@ from typing import TYPE_CHECKING, List, Optional, Union
 from ..align.alignment import Alignment
 from ..genome.sequence import Sequence
 from ..obs.export import graft_span_dicts
+from ..obs.progress import NO_PROGRESS
+from ..obs.session import TelemetryOptions
 from ..obs.tracer import NULL_TRACER
 from ..resilience.checkpoint import (
     RunManifest,
@@ -40,7 +42,9 @@ if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
 
 
 def _make_engine(
-    workers: int, resilience: Optional[ResilienceOptions] = None
+    workers: int,
+    resilience: Optional[ResilienceOptions] = None,
+    telemetry: Optional[TelemetryOptions] = None,
 ) -> "ExecutionEngine":
     """Construct the multiprocess engine.
 
@@ -50,7 +54,26 @@ def _make_engine(
     """
     from ..parallel.engine import ExecutionEngine
 
-    return ExecutionEngine(workers, resilience=resilience)
+    return ExecutionEngine(
+        workers, resilience=resilience, telemetry=telemetry
+    )
+
+
+def _bind_telemetry(
+    telemetry: Optional[TelemetryOptions], tracer
+) -> None:
+    """Stand the telemetry bus up for a traced run and attach it.
+
+    Must happen before the engine's pool runs its first task — the bus
+    queue only reaches workers through the pool initializer.  Untraced
+    runs skip the bus entirely (workers would have no spans to stream),
+    so NullTracer benchmarks pay nothing.
+    """
+    if telemetry is None:
+        return
+    if tracer.enabled:
+        telemetry.ensure_bus()
+    telemetry.attach(tracer)
 
 
 def _resolve_cache(
@@ -121,8 +144,11 @@ class DarwinWGA:
     may be passed instead to share one pool across aligners.
     ``index_cache`` (a directory path or
     :class:`~repro.seed.cache.SeedIndexCache`) persists seed indexes
-    across runs.  Aligners that own their engine should be closed
-    (:meth:`close` or a ``with`` block) when ``workers > 1``.
+    across runs.  ``telemetry`` (a
+    :class:`~repro.obs.session.TelemetryOptions`) adds live progress,
+    metric collection and — for traced parallel runs — the
+    cross-process telemetry bus.  Aligners that own their engine should
+    be closed (:meth:`close` or a ``with`` block) when ``workers > 1``.
     """
 
     def __init__(
@@ -133,6 +159,7 @@ class DarwinWGA:
         engine: Optional[ExecutionEngine] = None,
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
         resilience: Optional[ResilienceOptions] = None,
+        telemetry: Optional[TelemetryOptions] = None,
     ) -> None:
         self.config = config or DarwinWGAConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -141,6 +168,9 @@ class DarwinWGA:
             resilience = engine.resilience
         self.resilience = resilience
         self.index_cache = _resolve_cache(index_cache, resilience)
+        if engine is not None and telemetry is not None:
+            engine.adopt_telemetry(telemetry)
+        self.telemetry = telemetry
         self._engine = engine
         self._owns_engine = False
 
@@ -148,7 +178,10 @@ class DarwinWGA:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = _make_engine(self.workers, self.resilience)
+            _bind_telemetry(self.telemetry, self.tracer)
+            self._engine = _make_engine(
+                self.workers, self.resilience, self.telemetry
+            )
             self._owns_engine = True
         return self._engine
 
@@ -281,10 +314,15 @@ def align_pair(
     tracer=None,
     workers: int = 1,
     index_cache=None,
+    telemetry: Optional[TelemetryOptions] = None,
 ) -> WGAResult:
     """One-call convenience wrapper around :class:`DarwinWGA`."""
     with DarwinWGA(
-        config, tracer=tracer, workers=workers, index_cache=index_cache
+        config,
+        tracer=tracer,
+        workers=workers,
+        index_cache=index_cache,
+        telemetry=telemetry,
     ) as aligner:
         return aligner.align(target, query)
 
@@ -326,6 +364,7 @@ def align_assemblies(
     checkpoint: Union[str, Path, None] = None,
     resume: bool = False,
     resilience: Optional[ResilienceOptions] = None,
+    telemetry: Optional[TelemetryOptions] = None,
 ) -> WGAResult:
     """Whole-assembly WGA: every target chromosome vs every query
     chromosome (the paper's actual task — its species have multiple
@@ -354,6 +393,13 @@ def align_assemblies(
     byte-identical to an uninterrupted one.  ``resilience`` supplies the
     retry policy, fault-injection plan and recovery counters for
     supervised parallel dispatch.
+
+    ``telemetry`` adds live progress reporting and metric collection;
+    for traced parallel runs it also stands up the cross-process
+    telemetry bus, over which workers stream their span trees, funnel
+    counters and resource samples as each unit completes.  None of it
+    changes the result: telemetry rides alongside the dispatch/gather
+    order, never in it.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cache = _resolve_cache(index_cache, resilience)
@@ -367,11 +413,19 @@ def align_assemblies(
         query_assembly,
     )
     stats = resilience.stats if resilience is not None else None
+    progress = telemetry.progress if telemetry is not None else NO_PROGRESS
     pool = engine
     owns_engine = False
     if pool is None and workers > 1:
-        pool = _make_engine(workers, resilience)
+        _bind_telemetry(telemetry, tracer)
+        pool = _make_engine(workers, resilience, telemetry)
         owns_engine = True
+    elif pool is not None and telemetry is not None:
+        # An externally owned engine adopts the telemetry bundle only
+        # while its pool is still unbuilt (the bus must ride the pool
+        # initializer); otherwise progress still works parent-side.
+        if pool.adopt_telemetry(telemetry):
+            _bind_telemetry(telemetry, tracer)
     try:
         if pool is not None and pool.active:
             return _align_assemblies_parallel(
@@ -416,6 +470,11 @@ def align_assemblies(
                     alignments.extend(result.alignments)
                     workload.merge(result.workload)
                     span.inc("chromosome_pairs")
+                    progress.advance(
+                        units=1,
+                        cells=result.workload.filter_cells
+                        + result.workload.extension_cells,
+                    )
         alignments.sort(key=lambda a: -a.score)
         return WGAResult(alignments=alignments, workload=workload)
     finally:
@@ -446,6 +505,10 @@ def _align_assemblies_parallel(
     """
     traced = tracer.enabled
     cache_dir = str(cache.directory) if cache is not None else None
+    telemetry = engine.telemetry
+    registry = telemetry.registry if telemetry is not None else None
+    bus = engine.bus
+    progress = engine.progress
     alignments: List[Alignment] = []
     workload = Workload()
     with tracer.span("align_assemblies") as span:
@@ -466,6 +529,11 @@ def _align_assemblies_parallel(
                         )
                     target_handle = engine.share(target)
                 base = tracer.now()
+                if bus is not None:
+                    # Workers stream this unit's spans with relative
+                    # timestamps; the bus grafts them onto the parent
+                    # timeline at the unit's dispatch offset.
+                    bus.register_unit(key, base)
                 ticket = engine.dispatch(
                     align_unit_task,
                     aligner_class,
@@ -474,9 +542,12 @@ def _align_assemblies_parallel(
                     engine.share(query),
                     cache_dir,
                     traced,
+                    key,
                     key=key,
                 )
                 units.append((key, ticket, base))
+        outstanding = sum(1 for _, ticket, _ in units if ticket is not None)
+        progress.set_in_flight(outstanding)
         for key, ticket, base in units:
             if ticket is None:
                 result = manifest.result_for(key)
@@ -484,15 +555,49 @@ def _align_assemblies_parallel(
                 if stats is not None:
                     stats.resumed_units += 1
             else:
-                result, span_dicts = engine.result(ticket, tracer=tracer)
+                result, span_dicts, ack = engine.result(
+                    ticket, tracer=tracer
+                )
+                outstanding -= 1
+                collected = tracer.now()
+                if registry is not None:
+                    registry.histogram("queue_depth").observe(outstanding)
+                    if ack is not None:
+                        latency = collected - base - ack.get("busy", 0.0)
+                        registry.histogram(
+                            "dispatch_latency_seconds"
+                        ).observe(max(0.0, latency))
+                if bus is not None and ack is not None:
+                    bus.record_ack(ack, done_at=collected)
                 if traced and span_dicts is not None:
-                    graft_span_dicts(tracer, span_dicts, base=base)
+                    # Bus-less engine: spans came back inline; tag them
+                    # the way the bus would so trace consumers see one
+                    # shape.
+                    for grafted in graft_span_dicts(
+                        tracer, span_dicts, base=base
+                    ):
+                        grafted.attrs.setdefault("unit", key)
                 if manifest is not None:
                     manifest.record(key, result)
                     if stats is not None:
                         stats.journaled_units += 1
+                progress.set_in_flight(outstanding)
             alignments.extend(result.alignments)
             workload.merge(result.workload)
             span.inc("chromosome_pairs")
+            progress.advance(
+                units=1,
+                cells=result.workload.filter_cells
+                + result.workload.extension_cells,
+            )
+        if bus is not None:
+            missing = bus.drain()
+            idle_tail = bus.idle_tail_seconds(tracer.now())
+            span.set(
+                idle_tail_seconds=round(idle_tail, 6),
+                undelivered_events=missing,
+            )
+            if registry is not None:
+                registry.gauge("idle_tail_seconds").set(idle_tail)
     alignments.sort(key=lambda a: -a.score)
     return WGAResult(alignments=alignments, workload=workload)

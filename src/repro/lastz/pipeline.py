@@ -23,7 +23,13 @@ from ..align.alignment import Alignment
 from ..core.anchors import CoverageGrid
 from ..core.config import ExtensionParams
 from ..core.extension import extend_anchors
-from ..core.pipeline import WGAResult, Workload, _make_engine, _resolve_cache
+from ..core.pipeline import (
+    WGAResult,
+    Workload,
+    _bind_telemetry,
+    _make_engine,
+    _resolve_cache,
+)
 from ..align.matrices import lastz_default
 from ..align.scoring import ScoringScheme
 from ..genome.sequence import Sequence
@@ -72,6 +78,7 @@ class LastzAligner:
         engine: Optional[ExecutionEngine] = None,
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
         resilience=None,
+        telemetry=None,
     ) -> None:
         self.config = config or LastzConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -80,6 +87,9 @@ class LastzAligner:
             resilience = engine.resilience
         self.resilience = resilience
         self.index_cache = _resolve_cache(index_cache, resilience)
+        if engine is not None and telemetry is not None:
+            engine.adopt_telemetry(telemetry)
+        self.telemetry = telemetry
         self._engine = engine
         self._owns_engine = False
 
@@ -87,7 +97,10 @@ class LastzAligner:
     def engine(self) -> Optional[ExecutionEngine]:
         """The execution engine, created lazily when ``workers > 1``."""
         if self._engine is None and self.workers > 1:
-            self._engine = _make_engine(self.workers, self.resilience)
+            _bind_telemetry(self.telemetry, self.tracer)
+            self._engine = _make_engine(
+                self.workers, self.resilience, self.telemetry
+            )
             self._owns_engine = True
         return self._engine
 

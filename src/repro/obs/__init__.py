@@ -13,6 +13,24 @@ the repository hangs those numbers on:
 * :mod:`repro.obs.export` — structured JSON run reports, a
   Chrome-``trace_event`` export loadable in ``chrome://tracing`` /
   Perfetto, and a human-readable span-tree renderer.
+
+v2 adds the cross-process pieces:
+
+* :mod:`repro.obs.bus` — the worker→parent telemetry bus
+  (sequence-numbered, loss-counting event delivery over an mp.Queue,
+  with a parent-side aggregator that grafts spans live and merges
+  per-worker funnels/histograms);
+* :mod:`repro.obs.progress` — TTY-aware live status line (units
+  done/in-flight/retried, cells/s, ETA) fed by the pipelines and by
+  the resilient dispatcher's recovery actions;
+* :mod:`repro.obs.resource` — RSS / CPU / GC-pause sampling attachable
+  to spans, per process;
+* :mod:`repro.obs.profiling` — opt-in cProfile capture for the parent
+  and every worker;
+* :mod:`repro.obs.session` — :class:`TelemetryOptions`, the single
+  bundle the CLI threads through the pipelines;
+* :mod:`repro.obs.gate` — perf-regression gating of benchmark
+  artifacts against a committed baseline (``repro bench check``).
 """
 
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
@@ -21,6 +39,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricRegistry,
+    canonical_bucket_edges,
     funnel_metrics,
     stage_summary,
 )
@@ -36,6 +55,17 @@ from .export import (
     write_chrome_trace,
     write_run_report,
 )
+from .bus import (
+    BusPublisher,
+    TelemetryBus,
+    current_publisher,
+    install_publisher,
+)
+from .progress import NO_PROGRESS, NullProgress, ProgressRenderer
+from .resource import GcPauseTracker, ResourceSampler, sample_resources
+from .profiling import profile_capture
+from .session import TelemetryOptions
+from .gate import GateResult, compare_artifacts, load_artifact
 
 __all__ = [
     "NULL_TRACER",
@@ -46,6 +76,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "canonical_bucket_edges",
     "funnel_metrics",
     "stage_summary",
     "graft_span_dicts",
@@ -58,4 +89,19 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "write_run_report",
+    "BusPublisher",
+    "TelemetryBus",
+    "current_publisher",
+    "install_publisher",
+    "NO_PROGRESS",
+    "NullProgress",
+    "ProgressRenderer",
+    "GcPauseTracker",
+    "ResourceSampler",
+    "sample_resources",
+    "profile_capture",
+    "TelemetryOptions",
+    "GateResult",
+    "compare_artifacts",
+    "load_artifact",
 ]

@@ -113,6 +113,7 @@ def run_report(
     tracer: Tracer,
     result=None,
     meta: Optional[Dict] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """Serialize a traced run to a JSON-ready dict.
 
@@ -120,6 +121,10 @@ def run_report(
     when given, the report embeds the run's workload counters (the
     Table V columns) and the derived funnel metrics, so the numbers in
     the trace can be checked against the pipeline's own accounting.
+    ``telemetry`` is an optional
+    :meth:`~repro.obs.session.TelemetryOptions.summary` dict (bus
+    delivery accounting plus merged registry metrics); it is embedded
+    verbatim under a ``telemetry`` key.
     """
     report: Dict = {
         "version": REPORT_VERSION,
@@ -127,6 +132,8 @@ def run_report(
         "spans": [_span_to_dict(s, tracer.epoch) for s in tracer.roots],
         "stages": stage_summary(tracer.roots),
     }
+    if telemetry is not None:
+        report["telemetry"] = telemetry
     if result is not None:
         workload = result.workload
         report["workload"] = {
@@ -151,9 +158,12 @@ def write_run_report(
     tracer: Tracer,
     result=None,
     meta: Optional[Dict] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """Write :func:`run_report` JSON to ``path``; returns the dict."""
-    report = run_report(tracer, result=result, meta=meta)
+    report = run_report(
+        tracer, result=result, meta=meta, telemetry=telemetry
+    )
     Path(path).write_text(json.dumps(report, indent=2, sort_keys=True))
     return report
 
@@ -178,34 +188,85 @@ def spans_from_report(report: Dict) -> List[Span]:
     return tracer.roots
 
 
+#: pid used for worker-unit lanes in the Chrome trace (0 is the parent).
+_WORKER_PID = 1
+
+
 def _chrome_events(
-    span_dict: Dict, events: List[Dict], pid: int, tid: int
+    span_dict: Dict,
+    events: List[Dict],
+    pid: int,
+    tid: int,
+    flavor: str,
+    tid_of_unit: Dict[str, int],
 ) -> None:
+    # A unit-tagged span (grafted from a worker, at any nesting depth)
+    # moves itself and its subtree onto that unit's worker lane.
+    unit = span_dict.get("attrs", {}).get("unit")
+    if unit is not None and str(unit) in tid_of_unit:
+        pid, tid = _WORKER_PID, tid_of_unit[str(unit)]
     args = dict(span_dict["attrs"])
     args.update(span_dict["counters"])
-    events.append(
-        {
-            "name": span_dict["name"],
-            "ph": "X",
-            "ts": round(span_dict["start"] * 1e6, 3),
-            "dur": round(span_dict["duration"] * 1e6, 3),
-            "pid": pid,
-            "tid": tid,
-            "cat": "repro",
-            "args": args,
-        }
-    )
+    ts = round(span_dict["start"] * 1e6, 3)
+    dur = round(span_dict["duration"] * 1e6, 3)
+    common = {
+        "name": span_dict["name"],
+        "pid": pid,
+        "tid": tid,
+        "cat": "repro",
+    }
+    if flavor == "BE":
+        events.append({**common, "ph": "B", "ts": ts, "args": args})
+    else:
+        events.append(
+            {**common, "ph": "X", "ts": ts, "dur": dur, "args": args}
+        )
     for child in span_dict["children"]:
-        _chrome_events(child, events, pid, tid)
+        _chrome_events(child, events, pid, tid, flavor, tid_of_unit)
+    if flavor == "BE":
+        events.append(
+            {**common, "ph": "E", "ts": round(ts + dur, 3), "args": {}}
+        )
 
 
-def to_chrome_trace(source: Union[Tracer, Dict]) -> Dict:
+def _collect_units(span_dicts: List[Dict]) -> Dict[str, int]:
+    """Deterministic tid per worker unit: sorted by unit key.
+
+    Worker spans arrive (and are grafted) in completion order, which
+    varies run to run; keying lanes by the *unit name* instead of the
+    arrival index makes the pid/tid mapping of two identical runs
+    identical.  Units are collected from every depth — the bus grafts
+    worker spans as children of the open parent span.
+    """
+
+    def walk(spans):
+        for span in spans:
+            unit = span.get("attrs", {}).get("unit")
+            if unit is not None:
+                yield str(unit)
+            yield from walk(span.get("children", []))
+
+    units = sorted(set(walk(span_dicts)))
+    return {unit: tid for tid, unit in enumerate(units, start=1)}
+
+
+def to_chrome_trace(
+    source: Union[Tracer, Dict], flavor: str = "X"
+) -> Dict:
     """Convert a tracer or a run-report dict to Chrome ``trace_event``.
 
     The result is the JSON-object flavour (``{"traceEvents": [...]}``)
-    with complete (``ph: "X"``) events, timestamps in microseconds —
-    drop it into ``chrome://tracing`` or Perfetto as-is.
+    with timestamps in microseconds — drop it into ``chrome://tracing``
+    or Perfetto as-is.  ``flavor`` selects complete events (``"X"``,
+    the default) or paired begin/end events (``"BE"``).
+
+    Parent spans render on pid 0; spans grafted from worker processes
+    (tagged with a ``unit`` attribute) each get their own lane —
+    pid 1, one tid per unit, assigned in sorted unit order so the
+    mapping is stable across identical runs.
     """
+    if flavor not in ("X", "BE"):
+        raise ValueError(f"unknown chrome-trace flavor {flavor!r}")
     if isinstance(source, dict):
         span_dicts = source.get("spans", [])
         meta = source.get("meta", {})
@@ -214,9 +275,41 @@ def to_chrome_trace(source: Union[Tracer, Dict]) -> Dict:
             _span_to_dict(s, source.epoch) for s in source.roots
         ]
         meta = {}
+    tid_of_unit = _collect_units(span_dicts)
     events: List[Dict] = []
+    # Metadata events only when worker lanes exist: a single-process
+    # trace keeps the plain events-only shape.
+    if tid_of_unit:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "parent"},
+            }
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _WORKER_PID,
+                "tid": 0,
+                "args": {"name": "workers"},
+            }
+        )
+        for unit, tid in sorted(tid_of_unit.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _WORKER_PID,
+                    "tid": tid,
+                    "args": {"name": unit},
+                }
+            )
     for span_dict in span_dicts:
-        _chrome_events(span_dict, events, pid=0, tid=0)
+        _chrome_events(span_dict, events, 0, 0, flavor, tid_of_unit)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -225,10 +318,12 @@ def to_chrome_trace(source: Union[Tracer, Dict]) -> Dict:
 
 
 def write_chrome_trace(
-    path: Union[str, Path], source: Union[Tracer, Dict]
+    path: Union[str, Path],
+    source: Union[Tracer, Dict],
+    flavor: str = "X",
 ) -> Dict:
     """Write :func:`to_chrome_trace` JSON to ``path``."""
-    trace = to_chrome_trace(source)
+    trace = to_chrome_trace(source, flavor=flavor)
     Path(path).write_text(json.dumps(trace, indent=2))
     return trace
 

@@ -1,0 +1,83 @@
+"""One telemetry bundle threaded from the CLI down to the engine.
+
+:class:`TelemetryOptions` is the observability counterpart of
+:class:`~repro.resilience.policy.ResilienceOptions`: a single object
+carrying the progress sink, the shared metric registry, the optional
+worker-profiling directory and (once :meth:`ensure_bus` runs) the
+cross-process telemetry bus.  The pipelines accept it as one optional
+parameter; passing nothing keeps every hot path on the allocation-free
+null objects.
+
+Lifecycle: the owner (CLI command, test) creates the options, the
+pipeline calls :meth:`ensure_bus`/:meth:`attach` when a traced parallel
+run actually starts, and the owner calls :meth:`finish` afterwards to
+drain the bus and collect the delivery/metric summary for the run
+report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .bus import TelemetryBus
+from .metrics import MetricRegistry
+from .progress import NO_PROGRESS
+
+__all__ = ["TelemetryOptions"]
+
+
+@dataclass
+class TelemetryOptions:
+    """Progress + metrics + bus + profiling knobs for one run.
+
+    ``stream=False`` disables the bus even for traced parallel runs
+    (workers then return spans inline with their results, the pre-bus
+    behaviour).  ``profile_dir`` turns on cProfile capture in every
+    worker via the pool initializer.
+    """
+
+    progress: object = NO_PROGRESS
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+    profile_dir: Union[str, Path, None] = None
+    stream: bool = True
+    bus: Optional[TelemetryBus] = None
+
+    def ensure_bus(
+        self,
+        context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> Optional[TelemetryBus]:
+        """Create the bus on first use (no-op when streaming is off)."""
+        if self.stream and self.bus is None:
+            self.bus = TelemetryBus(context=context)
+        return self.bus
+
+    def attach(self, tracer=None, pump: bool = False) -> None:
+        """Point the bus at this run's tracer/registry/progress."""
+        if self.bus is not None:
+            self.bus.attach(
+                tracer=tracer,
+                registry=self.registry,
+                progress=self.progress,
+            )
+            if pump:
+                self.bus.start_pump()
+
+    def finish(self, timeout: float = 5.0) -> Dict:
+        """Drain the bus and return the run's telemetry summary."""
+        if self.bus is not None:
+            self.bus.drain(timeout=timeout)
+        return self.summary()
+
+    def summary(self) -> Dict:
+        return {
+            "bus": self.bus.summary() if self.bus is not None else None,
+            "metrics": self.registry.as_dict(),
+        }
+
+    def close(self) -> None:
+        if self.bus is not None:
+            self.bus.close()
+            self.bus = None

@@ -45,6 +45,8 @@ from typing import Dict, List, Optional, Tuple
 from multiprocessing import shared_memory
 
 from ..genome.sequence import Sequence
+from ..obs.progress import NO_PROGRESS
+from ..obs.session import TelemetryOptions
 from ..obs.tracer import NULL_TRACER
 from ..resilience.policy import ResilienceOptions
 
@@ -142,6 +144,13 @@ class ExecutionEngine:
 
     ``resilience`` carries the retry policy, optional fault-injection
     plan and recovery counters used by :meth:`dispatch`/:meth:`result`.
+    ``telemetry`` (a :class:`~repro.obs.session.TelemetryOptions`)
+    carries the progress sink, metric registry, optional telemetry bus
+    and worker-profiling directory; when it holds a bus or a profile
+    directory the pool's workers are initialized with the matching
+    publisher/profiler.  It must be configured before the pool's first
+    task (the executor is built lazily, so before the first
+    ``submit``/``dispatch``).
     """
 
     def __init__(
@@ -149,11 +158,13 @@ class ExecutionEngine:
         workers: int,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
         resilience: Optional[ResilienceOptions] = None,
+        telemetry: Optional[TelemetryOptions] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.resilience = resilience or ResilienceOptions()
+        self.telemetry = telemetry
         self._context = mp_context or _default_context()
         self._executor: Optional[ProcessPoolExecutor] = None
         self._dispatcher_obj = None
@@ -174,12 +185,72 @@ class ExecutionEngine:
         """Whether work should actually fan out (more than one worker)."""
         return self.workers > 1 and not self._closed
 
+    @property
+    def bus(self):
+        """The telemetry bus, or None when not configured."""
+        return (
+            self.telemetry.bus if self.telemetry is not None else None
+        )
+
+    @property
+    def progress(self):
+        """The progress sink (never None; defaults to the no-op one)."""
+        return (
+            self.telemetry.progress
+            if self.telemetry is not None
+            else NO_PROGRESS
+        )
+
+    def adopt_telemetry(self, telemetry: TelemetryOptions) -> bool:
+        """Install ``telemetry`` on an engine that has none yet.
+
+        Returns True on success.  Refused (False) once the executor is
+        built — its workers were initialized without a bus publisher,
+        so adopting one then would silently miss their events — or when
+        a different telemetry bundle is already installed.
+        """
+        if self.telemetry is telemetry:
+            return True
+        if self.telemetry is not None or self._executor is not None:
+            return False
+        self.telemetry = telemetry
+        return True
+
+    def _worker_initializer(self):
+        """(initializer, initargs) wiring telemetry into new workers.
+
+        The bus queue can only cross a process boundary while the pool
+        is constructing its workers, which is exactly what the
+        ``initializer`` mechanism provides (under fork *and* spawn);
+        passing the queue as a task argument would raise.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None, ()
+        endpoint = (
+            telemetry.bus.endpoint()
+            if telemetry.bus is not None
+            else None
+        )
+        profile_dir = (
+            str(telemetry.profile_dir) if telemetry.profile_dir else None
+        )
+        if endpoint is None and profile_dir is None:
+            return None, ()
+        from ..obs.bus import worker_init
+
+        return worker_init, (endpoint, profile_dir)
+
     def _pool(self) -> ProcessPoolExecutor:
         if self._closed:
             raise RuntimeError("engine is closed")
         if self._executor is None:
+            initializer, initargs = self._worker_initializer()
             self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=self._context
+                max_workers=self.workers,
+                mp_context=self._context,
+                initializer=initializer,
+                initargs=initargs,
             )
         return self._executor
 
@@ -282,8 +353,17 @@ class ExecutionEngine:
         return self._dispatcher().submit(fn, *args, key=key)
 
     def result(self, ticket, tracer=NULL_TRACER):
-        """Collect a dispatched ticket's result (see ``dispatch``)."""
-        return self._dispatcher().result(ticket, tracer=tracer)
+        """Collect a dispatched ticket's result (see ``dispatch``).
+
+        Collection points double as telemetry poll points: any events
+        workers streamed while we waited are routed (and their spans
+        grafted onto ``tracer``) before the value is returned.
+        """
+        value = self._dispatcher().result(ticket, tracer=tracer)
+        bus = self.bus
+        if bus is not None:
+            bus.poll()
+        return value
 
     def _dispatcher(self):
         if self._dispatcher_obj is None:

@@ -150,9 +150,11 @@ class ResilientDispatcher:
             if cause == "broken_pool":
                 stats.pool_rebuilds += 1
                 self._engine.rebuild()
+            progress = self._engine.progress
             if ticket.attempt > policy.max_retries:
                 self._discard(ticket)
                 stats.serial_fallbacks += 1
+                progress.fell_back(ticket.key, cause)
                 with tracer.span(
                     "recovery",
                     action="serial_fallback",
@@ -161,6 +163,7 @@ class ResilientDispatcher:
                 ):
                     return ticket.fn(*ticket.args)
             stats.retries += 1
+            progress.retried(ticket.key, cause, ticket.attempt)
             with tracer.span(
                 "recovery",
                 action="retry",

@@ -1,0 +1,183 @@
+"""End-to-end telemetry bus: real workers, real queue, exact accounting.
+
+The acceptance contract for the cross-process bus, proven on a live
+2-worker pool:
+
+* zero dropped / lost / gap events (ack-based drain makes this exact);
+* the global funnel equals the sum of the per-worker funnels AND the
+  serial run's workload counters;
+* telemetry never perturbs results — identical alignments at any
+  worker count, with or without the bus;
+* worker spans arrive tagged with their unit and worker pid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import align_assemblies
+from repro.genome import Assembly, Sequence, make_species_pair
+from repro.obs import TelemetryOptions, Tracer
+from repro.parallel import ExecutionEngine
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def assemblies():
+    pair = make_species_pair(
+        6000, 0.3, np.random.default_rng(11), alignable_fraction=0.5
+    )
+
+    def split(genome, prefix):
+        half = len(genome.codes) // 2
+        return Assembly(
+            name=prefix,
+            chromosomes=[
+                Sequence(genome.codes[:half], name=f"{prefix}1"),
+                Sequence(genome.codes[half:], name=f"{prefix}2"),
+            ],
+        )
+
+    return (
+        split(pair.target.genome, "t"),
+        split(pair.query.genome, "q"),
+    )
+
+
+@pytest.fixture(scope="module")
+def bus_run(assemblies):
+    """One traced 2-worker run with the bus on; shared by the tests."""
+    target, query = assemblies
+    telemetry = TelemetryOptions()
+    telemetry.ensure_bus()
+    tracer = Tracer()
+    with ExecutionEngine(WORKERS, telemetry=telemetry) as engine:
+        result = align_assemblies(
+            target, query, engine=engine, tracer=tracer, telemetry=telemetry
+        )
+    summary = telemetry.finish()
+    telemetry.close()
+    return result, tracer, summary
+
+
+def alignment_key(result):
+    return [
+        (
+            a.target_name,
+            a.query_name,
+            a.strand,
+            a.target_start,
+            a.target_end,
+            a.query_start,
+            a.query_end,
+            a.score,
+        )
+        for a in result.alignments
+    ]
+
+
+class TestZeroLoss:
+    def test_no_dropped_lost_or_gap_events(self, bus_run):
+        _, _, summary = bus_run
+        bus = summary["bus"]
+        assert bus["events"] > 0
+        assert bus["dropped_events"] == 0
+        assert bus["lost_events"] == 0
+        assert bus["gap_events"] == 0
+        assert bus["workers"] >= 1
+
+    def test_funnels_balance_exactly(self, bus_run, assemblies):
+        """Global funnel == sum of worker funnels == serial workload."""
+        result, _, summary = bus_run
+        bus = summary["bus"]
+        merged = {}
+        for counters in bus["worker_funnels"].values():
+            for name, value in counters.items():
+                merged[name] = merged.get(name, 0) + value
+        assert merged == bus["funnel"]
+        workload = result.workload
+        assert bus["funnel"]["seed_hits"] == workload.seed_hits
+        assert bus["funnel"]["filter_tiles"] == workload.filter_tiles
+        assert bus["funnel"]["anchors"] == workload.anchors
+
+
+class TestIdenticalOutput:
+    def test_bus_run_matches_serial_run(self, bus_run, assemblies):
+        target, query = assemblies
+        result, _, _ = bus_run
+        serial = align_assemblies(target, query, workers=1)
+        assert alignment_key(result) == alignment_key(serial)
+        assert result.workload == serial.workload
+
+    def test_untraced_telemetry_run_matches_too(self, bus_run, assemblies):
+        """Telemetry attached but tracer off: no bus, same output."""
+        target, query = assemblies
+        result, _, _ = bus_run
+        telemetry = TelemetryOptions()
+        with ExecutionEngine(WORKERS, telemetry=telemetry) as engine:
+            untraced = align_assemblies(
+                target, query, engine=engine, telemetry=telemetry
+            )
+        assert telemetry.bus is None
+        assert alignment_key(untraced) == alignment_key(result)
+
+
+class TestWorkerSpans:
+    def test_worker_spans_grafted_with_unit_and_pid(self, bus_run):
+        _, tracer, _ = bus_run
+        tagged = [
+            span
+            for root in tracer.roots
+            for span in root.walk()
+            if "worker" in span.attrs
+        ]
+        assert tagged, "no worker spans were streamed over the bus"
+        units = {span.attrs["unit"] for span in tagged}
+        assert len(units) == 4  # 2 target x 2 query chromosomes
+        for span in tagged:
+            assert span.attrs["worker"] > 0
+            assert span.closed
+
+    def test_registry_metrics_recorded(self, bus_run):
+        _, _, summary = bus_run
+        metrics = summary["metrics"]
+        assert metrics["queue_depth"]["count"] > 0
+        assert metrics["dispatch_latency_seconds"]["count"] > 0
+        assert "idle_tail_seconds" in metrics
+
+
+class TestAdoptTelemetry:
+    def test_engine_adopts_before_pool_build(self):
+        telemetry = TelemetryOptions()
+        engine = ExecutionEngine(WORKERS)
+        try:
+            assert engine.adopt_telemetry(telemetry) is True
+            assert engine.telemetry is telemetry
+            assert engine.adopt_telemetry(telemetry) is True  # idempotent
+        finally:
+            engine.close()
+
+    def test_engine_refuses_after_pool_build(self, assemblies):
+        """Workers are initialized without a publisher; adopting a bus
+        afterwards would silently lose every event."""
+        target, query = assemblies
+        engine = ExecutionEngine(WORKERS)
+        try:
+            align_assemblies(target, query, engine=engine)  # builds pool
+            late = TelemetryOptions()
+            late.ensure_bus()
+            assert engine.adopt_telemetry(late) is False
+            assert engine.telemetry is None
+            late.close()
+        finally:
+            engine.close()
+
+    def test_engine_refuses_second_bundle(self):
+        first = TelemetryOptions()
+        second = TelemetryOptions()
+        engine = ExecutionEngine(WORKERS, telemetry=first)
+        try:
+            assert engine.adopt_telemetry(second) is False
+            assert engine.telemetry is first
+        finally:
+            engine.close()
