@@ -158,7 +158,16 @@ def _stage_perf(trace):
 
 
 def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
-    """Persist the aggregate perf artifact for all pair runs."""
+    """Persist the aggregate perf artifact for all pair runs.
+
+    Sections written by other benchmark modules (the ``kernels``
+    old-vs-new comparison from ``bench_kernels``) are carried over from
+    an existing artifact rather than clobbered.
+    """
+    try:
+        previous = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        previous = {}
     artifact = {
         "version": 1,
         "scale": SCALE,
@@ -182,6 +191,8 @@ def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
             for run in runs
         },
     }
+    if "kernels" in previous:
+        artifact["kernels"] = previous["kernels"]
     Path(path).write_text(json.dumps(artifact, indent=2, sort_keys=True))
     return artifact
 

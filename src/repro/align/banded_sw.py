@@ -12,6 +12,16 @@ provided in *batched* form: ``K`` tiles are stacked and each DP row is one
 vectorised update over a ``(K, band_width)`` slab.  This mirrors how the
 hardware processes many independent tiles across its 50-64 BSW arrays and
 is what makes genome-scale runs feasible in Python.
+
+The batched sweep runs in the narrowest exact dtype and in a transposed
+``(width, K)`` layout: every elementwise row op then streams contiguous
+``K``-wide vectors (SIMD-friendly) instead of strided ``width``-slices of
+``(K, width)`` slabs, the within-row H prefix scan becomes a log-step
+shifted-maximum ladder over full lanes, and the per-row best is tracked
+with a cheap lane-wise ``max`` plus a first-index recovery that runs only
+on rows where some tile actually improves.  The original row kernel is
+preserved as ``bsw_batch_reference`` in :mod:`repro.align._reference`
+and fuzzed against this one by ``tests/align/test_differential.py``.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from typing import Tuple
 import numpy as np
 
 from ..genome.sequence import Sequence
-from ._dp import NEG_INF
+from . import _dp
 from .scoring import ScoringScheme
 
 
@@ -81,49 +91,107 @@ def bsw_batch(
         raise ValueError("band must be non-negative")
     k, m = target_tiles.shape
     n = query_tiles.shape[1]
-    o = np.int64(scoring.gap_open)
-    e = np.int64(scoring.gap_extend)
-    matrix = scoring.matrix64
+    dtype = _dp.kernel_dtype(scoring, max(m, n))
+    negf = _dp.neg_inf(dtype)
+    o = int(scoring.gap_open)
+    e = int(scoring.gap_extend)
+    matrix = _dp.matrix_for(scoring, dtype)
+    alphabet = matrix.shape[0]
+    ke, oke = _dp.gap_ladders(scoring, m + 1, dtype)
 
-    v_prev = np.zeros((k, m + 1), dtype=np.int64)
-    u_prev = np.full((k, m + 1), NEG_INF, dtype=np.int64)
-    best = np.zeros(k, dtype=np.int64)
-    best_i = np.zeros(k, dtype=np.int64)
-    best_j = np.zeros(k, dtype=np.int64)
+    # Substitution planes, column-major: planes[j, b, :] is
+    # W[b, target[:, j]].  Each DP row then gathers its (width, K) slab
+    # with one fancy index whose leading axis is a plain slice.
+    target_cols = np.ascontiguousarray(target_tiles.T)
+    planes = np.empty((m, alphabet, k), dtype=dtype)
+    for base in range(alphabet):
+        np.take(matrix[base], target_cols, out=planes[:, base, :])
+    query_cols = query_tiles.T.astype(np.intp)
+    lanes = np.arange(k)
 
-    for i in range(1, n + 1):
-        lo = max(1, i - band)
-        hi = min(m, i + band)
-        if hi < lo:
-            continue
-        width = hi - lo + 1
-        subs = matrix[query_tiles[:, i - 1][:, None], target_tiles[:, lo - 1 : hi]]
+    ws = _dp.acquire_workspace()
+    try:
+        width_cap = min(m, 2 * band + 1)
+        v_prev = ws.array("bsw_v", (m + 1, k), dtype)
+        u_prev = ws.array("bsw_u", (m + 1, k), dtype)
+        ua = ws.array("bsw_ua", (width_cap, k), dtype)
+        ub = ws.array("bsw_ub", (width_cap, k), dtype)
+        v0 = ws.array("bsw_v0", (width_cap, k), dtype)
+        hh = ws.array("bsw_h", (width_cap, k), dtype)
+        acc = ws.array("bsw_acc", (width_cap, k), dtype)
+        scan = ws.array("bsw_scan", (width_cap, k), dtype)
+        rowmax = ws.array("bsw_rowmax", (k,), dtype)
+        improved = ws.array("bsw_imp", (k,), np.dtype(bool))
+        atmax = ws.array("bsw_atmax", (width_cap, k), np.dtype(bool))
+        jbuf = ws.array("bsw_jbuf", (k,), np.dtype(np.int64))
+        v_prev[:] = 0
+        u_prev[:] = negf
+        best = np.zeros(k, dtype=dtype)
+        best_i = np.zeros(k, dtype=np.int64)
+        best_j = np.zeros(k, dtype=np.int64)
+        kec = ke[:, np.newaxis]
+        okec = oke[:, np.newaxis]
 
-        u_row = np.maximum(
-            v_prev[:, lo : hi + 1] - o, u_prev[:, lo : hi + 1] - e
-        )
-        diag = v_prev[:, lo - 1 : hi] + subs
-        v0 = np.maximum(np.maximum(u_row, diag), 0)
+        for i in range(1, n + 1):
+            lo = max(1, i - band)
+            hi = min(m, i + band)
+            if hi < lo:
+                continue
+            w = hi - lo + 1
+            subs = planes[lo - 1 : hi, query_cols[i - 1], lanes]
 
-        # H via prefix scan over the row window; a zero boundary on the
-        # left models the local-alignment restart outside the band.
-        offsets = np.arange(width, dtype=np.int64) * e
-        running = np.maximum.accumulate(v0 + offsets, axis=1)
-        h_row = np.empty_like(v0)
-        h_row[:, 0] = NEG_INF
-        h_row[:, 1:] = running[:, :-1] - o - offsets[:-1][None, :]
-        v_row = np.maximum(np.maximum(v0, h_row), 0)
+            np.subtract(v_prev[lo : hi + 1], o, out=ua[:w])
+            np.subtract(u_prev[lo : hi + 1], e, out=ub[:w])
+            np.maximum(ua[:w], ub[:w], out=ua[:w])
+            np.add(v_prev[lo - 1 : hi], subs, out=subs)
+            np.maximum(ua[:w], subs, out=v0[:w])
+            np.maximum(v0[:w], 0, out=v0[:w])
 
-        v_prev[:, lo : hi + 1] = v_row
-        u_prev[:, lo : hi + 1] = u_row
+            # H via a prefix max over the row window (a zero boundary on
+            # the left models the local-alignment restart outside the
+            # band), computed as a log-step shifted-maximum ladder: a
+            # max-scan is idempotent, so each doubling pass may read
+            # already-updated entries without changing the result.
+            np.add(v0[:w], kec[:w], out=acc[:w])
+            shift = 1
+            while shift < w:
+                np.maximum(
+                    acc[shift:w], acc[: w - shift], out=scan[: w - shift]
+                )
+                acc[shift:w] = scan[: w - shift]
+                shift *= 2
+            hh[0] = negf
+            np.subtract(acc[: w - 1], okec[: w - 1], out=hh[1:w])
+            np.maximum(v0[:w], hh[:w], out=v0[:w])
 
-        row_best_idx = np.argmax(v_row, axis=1)
-        row_best = v_row[np.arange(k), row_best_idx]
-        improved = row_best > best
-        best[improved] = row_best[improved]
-        best_i[improved] = i
-        best_j[improved] = row_best_idx[improved] + lo
-    return best, best_i, best_j
+            v_prev[lo : hi + 1] = v0[:w]
+            u_prev[lo : hi + 1] = ua[:w]
+
+            # Track the batch-wide best lazily: a lane-wise max is cheap;
+            # the first-index recovery (the oracle's argmax tie rule)
+            # runs only when some tile actually improved this row.
+            np.max(v0[:w], axis=0, out=rowmax)
+            np.greater(rowmax, best, out=improved)
+            hits = np.flatnonzero(improved)
+            if hits.size:
+                if hits.size * 4 < k:
+                    # Few improving tiles: recover first-max indices on
+                    # just their columns.
+                    sub = v0[:w, hits]
+                    first = np.argmax(sub == rowmax[hits], axis=0)
+                    best[hits] = rowmax[hits]
+                    best_i[hits] = i
+                    best_j[hits] = first + lo
+                else:
+                    np.equal(v0[:w], rowmax, out=atmax[:w])
+                    first = np.argmax(atmax[:w], axis=0)
+                    np.copyto(best, rowmax, where=improved)
+                    np.copyto(best_i, i, where=improved)
+                    np.add(first, lo, out=jbuf)
+                    np.copyto(best_j, jbuf, where=improved)
+    finally:
+        _dp.release_workspace(ws)
+    return best.astype(np.int64), best_i, best_j
 
 
 def bsw_tile(

@@ -3,11 +3,15 @@
 Used as the oracle for GACT/GACT-X tile computations (which use
 Needleman-Wunsch scoring so that values may go negative, paper section
 III-D) and by tests.
+
+Runs on the vectorised sweep in :mod:`repro.align._dp` (narrow exact
+dtype, prefix-scan H, packed 4-bit traceback nibbles); the original
+row-at-a-time code is preserved as ``align_global_reference`` in
+:mod:`repro.align._reference` and fuzzed against this implementation by
+``tests/align/test_differential.py``.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from ..genome.sequence import Sequence
 from . import _dp
@@ -47,22 +51,22 @@ def align_global(
             cigar=Cigar.from_runs([(op, length)]),
         )
 
-    v_prev = _dp.boundary_scores(m, scoring, free=False)
-    u_prev = np.full(m + 1, _dp.NEG_INF)
-    pointer_rows = []
-    sub_columns = _dp.substitution_columns(target, scoring)
-    for i in range(1, n + 1):
-        subs = sub_columns[query.codes[i - 1]]
-        boundary = np.int64(-scoring.gap_cost(i))
-        v_prev, u_prev, _, pointers = _dp.row_update(
-            v_prev, u_prev, subs, scoring, boundary, local=False
+    ws = _dp.acquire_workspace()
+    try:
+        _, _, _, score, packed = _dp.affine_sweep(
+            target,
+            query,
+            scoring,
+            local=False,
+            track_best=False,
+            keep_pointers=True,
+            ws=ws,
         )
-        pointer_rows.append(pointers)
-
-    score = int(v_prev[m])
-    cigar, _, _ = _dp.traceback(
-        pointer_rows, [0] * n, target, query, n, m, pad_to_origin=True
-    )
+        cigar, _, _ = _dp.packed_traceback(
+            packed, target, query, n, m, pad_to_origin=True
+        )
+    finally:
+        _dp.release_workspace(ws)
     return Alignment(
         target_name=target.name,
         query_name=query.name,
@@ -83,17 +87,17 @@ def global_score(
     n = len(query)
     if m == 0 or n == 0:
         return -scoring.gap_cost(max(m, n))
-    v_prev = _dp.boundary_scores(m, scoring, free=False)
-    u_prev = np.full(m + 1, _dp.NEG_INF)
-    sub_columns = _dp.substitution_columns(target, scoring)
-    for i in range(1, n + 1):
-        subs = sub_columns[query.codes[i - 1]]
-        v_prev, u_prev, _, _ = _dp.row_update(
-            v_prev,
-            u_prev,
-            subs,
+    ws = _dp.acquire_workspace()
+    try:
+        _, _, _, score, _ = _dp.affine_sweep(
+            target,
+            query,
             scoring,
-            np.int64(-scoring.gap_cost(i)),
             local=False,
+            track_best=False,
+            keep_pointers=False,
+            ws=ws,
         )
-    return int(v_prev[m])
+    finally:
+        _dp.release_workspace(ws)
+    return score

@@ -2,8 +2,14 @@
 
 This is the reference implementation the whole library is tested against:
 banded, X-dropped, and tiled kernels must agree with it whenever their
-restrictions are inactive.  It is O(n*m) in time and pointer memory, so it
-is meant for tiles and tests, not genomes.
+restrictions are inactive.  It is O(n*m) in time, so it is meant for
+tiles and tests, not genomes.
+
+The kernel runs on the vectorised sweep in :mod:`repro.align._dp`
+(narrow exact dtype, prefix-scan H, packed 4-bit traceback nibbles at
+two cells per byte); the original row-at-a-time code is the oracle
+``align_local_reference`` et al. in :mod:`repro.align._reference`, and
+``tests/align/test_differential.py`` holds the two equal.
 """
 
 from __future__ import annotations
@@ -25,13 +31,22 @@ def score_matrix(
     m = len(target)
     n = len(query)
     v = np.zeros((n + 1, m + 1), dtype=np.int64)
-    u_prev = np.full(m + 1, _dp.NEG_INF)
-    sub_columns = _dp.substitution_columns(target, scoring)
-    for i in range(1, n + 1):
-        subs = sub_columns[query.codes[i - 1]]
-        v[i], u_prev, _, _ = _dp.row_update(
-            v[i - 1], u_prev, subs, scoring, np.int64(0), local=True
+    if m == 0 or n == 0:
+        return v
+    ws = _dp.acquire_workspace()
+    try:
+        _dp.affine_sweep(
+            target,
+            query,
+            scoring,
+            local=True,
+            track_best=False,
+            keep_pointers=False,
+            ws=ws,
+            matrix_out=v,
         )
+    finally:
+        _dp.release_workspace(ws)
     return v
 
 
@@ -48,33 +63,29 @@ def align_local(
     if m == 0 or n == 0:
         return None
 
-    v_prev = _dp.boundary_scores(m, scoring, free=True)
-    u_prev = np.full(m + 1, _dp.NEG_INF)
-    pointer_rows = []
-    best = (np.int64(0), 0, 0)  # score, i, j
-    sub_columns = _dp.substitution_columns(target, scoring)
-    for i in range(1, n + 1):
-        subs = sub_columns[query.codes[i - 1]]
-        v_prev, u_prev, _, pointers = _dp.row_update(
-            v_prev, u_prev, subs, scoring, np.int64(0), local=True
+    ws = _dp.acquire_workspace()
+    try:
+        score, end_i, end_j, _, packed = _dp.affine_sweep(
+            target,
+            query,
+            scoring,
+            local=True,
+            track_best=True,
+            keep_pointers=True,
+            ws=ws,
         )
-        pointer_rows.append(pointers)
-        j = int(np.argmax(v_prev))
-        if v_prev[j] > best[0]:
-            best = (v_prev[j], i, j)
-
-    score, end_i, end_j = best
-    if score <= 0:
-        return None
-    cigar, start_i, start_j = _dp.traceback(
-        pointer_rows,
-        [0] * n,
-        target,
-        query,
-        end_i,
-        end_j,
-        pad_to_origin=False,
-    )
+        if score <= 0:
+            return None
+        cigar, start_i, start_j = _dp.packed_traceback(
+            packed,
+            target,
+            query,
+            end_i,
+            end_j,
+            pad_to_origin=False,
+        )
+    finally:
+        _dp.release_workspace(ws)
     return Alignment(
         target_name=target.name,
         query_name=query.name,
@@ -82,7 +93,7 @@ def align_local(
         target_end=end_j,
         query_start=start_i,
         query_end=end_i,
-        score=int(score),
+        score=score,
         cigar=cigar,
     )
 
@@ -95,14 +106,17 @@ def best_score(
     n = len(query)
     if m == 0 or n == 0:
         return 0
-    v_prev = _dp.boundary_scores(m, scoring, free=True)
-    u_prev = np.full(m + 1, _dp.NEG_INF)
-    best = np.int64(0)
-    sub_columns = _dp.substitution_columns(target, scoring)
-    for i in range(1, n + 1):
-        subs = sub_columns[query.codes[i - 1]]
-        v_prev, u_prev, _, _ = _dp.row_update(
-            v_prev, u_prev, subs, scoring, np.int64(0), local=True
+    ws = _dp.acquire_workspace()
+    try:
+        score, _, _, _, _ = _dp.affine_sweep(
+            target,
+            query,
+            scoring,
+            local=True,
+            track_best=True,
+            keep_pointers=False,
+            ws=ws,
         )
-        best = max(best, v_prev.max())
-    return int(best)
+    finally:
+        _dp.release_workspace(ws)
+    return score

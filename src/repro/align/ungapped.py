@@ -168,25 +168,58 @@ def ungapped_extend_batch(
     matrix = scoring.matrix64
     boundary_penalty = np.int64(-(xdrop + 1))
     lanes = _lane_indices(k)
-    # One padded (k, max_length) slab serves both directions: every
-    # downstream array (cumsum, running max, masks) is a fresh allocation,
-    # so the left pass may overwrite the right pass's window in place.
-    score_slab = np.empty((k, max_length), dtype=np.int64)
+    # Clamp each direction's window to the longest extension any hit can
+    # actually make (sequence ends bound it) rather than ``max_length``:
+    # hits near the ends of short sequences would otherwise pay for a
+    # (k, max_length) slab that is almost entirely boundary padding.
+    # Truncated columns are out of range for every lane, where the
+    # boundary penalty already kills extension under X-drop, so scores
+    # and spans are unchanged.
+    right_cap = max(
+        0,
+        int(
+            min(
+                np.minimum(
+                    len(target) - target_positions,
+                    len(query) - query_positions,
+                ).max(),
+                max_length,
+            )
+        ),
+    )
+    left_cap = max(
+        0,
+        int(
+            min(
+                np.minimum(target_positions, query_positions).max(),
+                max_length,
+            )
+        ),
+    )
+    width = max(right_cap, left_cap)
+    # One padded (k, width) slab serves both directions: every downstream
+    # array (cumsum, running max, masks) is a fresh allocation, so the
+    # left pass may overwrite the right pass's window in place.
+    score_slab = np.empty((k, width), dtype=np.int64)
 
-    def direction_scores(offsets: np.ndarray) -> np.ndarray:
-        t_idx = target_positions[:, None] + offsets[None, :]
-        q_idx = query_positions[:, None] + offsets[None, :]
+    def direction_scores(offsets: np.ndarray, cap: int) -> np.ndarray:
+        slab = score_slab[:, :cap]
+        t_idx = target_positions[:, None] + offsets[None, :cap]
+        q_idx = query_positions[:, None] + offsets[None, :cap]
         valid = (
             (t_idx >= 0)
             & (t_idx < len(target))
             & (q_idx >= 0)
             & (q_idx < len(query))
         )
-        score_slab.fill(boundary_penalty)
-        score_slab[valid] = matrix[t[t_idx[valid]], q[q_idx[valid]]]
-        return score_slab
+        slab.fill(boundary_penalty)
+        slab[valid] = matrix[t[t_idx[valid]], q[q_idx[valid]]]
+        return slab
 
     def best_under_xdrop(scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if scores.shape[1] == 0:
+            zeros = np.zeros(k, dtype=np.int64)
+            return zeros, zeros.copy()
         cumulative = np.cumsum(scores, axis=1)
         running_max = np.maximum.accumulate(
             np.maximum(cumulative, 0), axis=1
@@ -202,7 +235,9 @@ def ungapped_extend_batch(
 
     offsets_right, offsets_left = _direction_offsets(max_length)
     right_best, right_spans = best_under_xdrop(
-        direction_scores(offsets_right)
+        direction_scores(offsets_right, right_cap)
     )
-    left_best, left_spans = best_under_xdrop(direction_scores(offsets_left))
+    left_best, left_spans = best_under_xdrop(
+        direction_scores(offsets_left, left_cap)
+    )
     return right_best + left_best, left_spans, right_spans

@@ -12,12 +12,41 @@ maximal reach of a surviving horizontal gap run (``Y // gap_extend``).
 The per-row ``(j_start, j_stop)`` windows are recorded: they are exactly
 what the hardware's stripe sequencer computes, so the cycle model in
 :mod:`repro.hw.gactx_array` replays them instead of re-running the DP.
+
+Implementation notes (the row-at-a-time original is preserved as the
+oracle ``xdrop_extend_reference`` in :mod:`repro.align._reference`):
+
+* Because each row's window depends on the previous row's live set, the
+  X-drop recurrence is row-sequential by construction; the speed comes
+  from a *lane-lockstep* engine instead of an anti-diagonal sweep.  Every
+  DP row of up to ``L`` concurrent tiles (the two extension directions of
+  a GACT-X anchor run in lockstep) becomes one batch of vector ops over a
+  ``(L, W)`` window slab, computed in the narrowest exact dtype
+  (:func:`repro.align._dp.kernel_dtype`) on persistent, cache-resident
+  workspace buffers.  ``H`` uses the prefix-scan identity from
+  :mod:`repro.align._dp`.
+* The row stores are *shifted*: ``v_store`` holds ``V - o`` and
+  ``u_store`` holds ``U - e``, so the next row's gap candidate
+  ``U(i,j) = max(V(i-1,j)-o, U(i-1,j)-e)`` is a single elementwise
+  ``max`` of two stored rows — no subtractions in the hot loop — and
+  the gap ``o``/``e`` charges are paid once, inside the store writes
+  the recurrence needs anyway.  The diagonal term compensates with a
+  ``+o``-baked substitution matrix: ``(V-o) + (W+o) = V + W``.
+* Traceback stores no per-cell direction nibble.  The forward pass
+  keeps ``V``, ``U`` (shifted, above) and the true ``H`` row; every
+  traceback decision is then a constant-time value comparison —
+  ``H == V`` for a horizontal move, ``H(i,j) == H(i,j-1) - e`` for its
+  gap-extension flag (provably equal to the prefix-scan test
+  ``running[j-1] == running[j-2]``), ``V == U`` for a vertical move and
+  ``U(i,j) == U(i-1,j) - e`` for its flag; diagonal is the only
+  possibility left.  The walk reproduces the reference pointer walk
+  exactly without ever materialising pointers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +79,413 @@ class XDropExtension:
         return len(self.row_windows)
 
 
+def _empty_extension(with_traceback: bool) -> XDropExtension:
+    return XDropExtension(
+        score=0,
+        max_i=0,
+        max_j=0,
+        cigar=Cigar(()) if with_traceback else None,
+        cells=0,
+        row_windows=(),
+    )
+
+
+class _Lane:
+    """Per-tile DP state of one lockstep lane."""
+
+    __slots__ = (
+        "stream",
+        "slot",
+        "target",
+        "query",
+        "q_codes",
+        "m",
+        "n",
+        "i",
+        "lo",
+        "hi",
+        "boundary",
+        "best",
+        "best_i",
+        "best_j",
+        "sub_cols",
+        "v_store",
+        "u_store",
+        "h_store",
+        "row_windows",
+        "cells",
+    )
+
+
+class _LaneEngine:
+    """Runs tile streams through the lockstep X-drop row pipeline.
+
+    A *stream* yields tiles one at a time (``next_tile``) and receives
+    each tile's :class:`XDropExtension` back (``consume``) before being
+    asked for the next — which lets GACT-X's tile chaining decide the
+    next tile from the previous tile's maximum while the other stream's
+    lane keeps advancing.  Lanes at heterogeneous rows/windows are
+    batched per row into shared ``(L, W)`` buffers.
+    """
+
+    def __init__(
+        self,
+        scoring: ScoringScheme,
+        ydrop: int,
+        max_tile_len: int,
+        with_traceback: bool,
+    ) -> None:
+        self.scoring = scoring
+        self.ydrop = ydrop
+        self.with_traceback = with_traceback
+        self.gap_slack = ydrop // max(1, scoring.gap_extend) + 1
+        self.dtype = _dp.kernel_dtype(scoring, max_tile_len, slack=ydrop)
+        self.negf = _dp.neg_inf(self.dtype)
+        self.o = int(scoring.gap_open)
+        self.e = int(scoring.gap_extend)
+        self.matrix = _dp.matrix_for(scoring, self.dtype)
+        # +o baked in: diagonal candidates read shifted V rows (V - o),
+        # so (V - o) + (W + o) restores the true V + W.
+        self.matrix_o = self.matrix + self.dtype.type(self.o)
+        self.ke, self.oke = _dp.gap_ladders(
+            scoring, max_tile_len + 2, self.dtype
+        )
+        self.max_tile_len = max_tile_len
+        self.ws = _dp.acquire_workspace()
+        self._next_slot = 0
+        self._free_slots: List[int] = []
+
+    def close(self) -> None:
+        _dp.release_workspace(self.ws)
+
+    # -- lane lifecycle ---------------------------------------------------
+
+    def _alloc_slot(self) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def _admit(self, stream, lanes: List[_Lane], slot: int) -> None:
+        """Pull tiles from ``stream`` until one starts a lane (or none)."""
+        while True:
+            tile = stream.next_tile()
+            if tile is None:
+                self._free_slots.append(slot)
+                return
+            t_tile, q_tile = tile
+            if len(t_tile) == 0 or len(q_tile) == 0:
+                stream.consume(_empty_extension(self.with_traceback))
+                continue
+            lane = _Lane()
+            lane.stream = stream
+            lane.slot = slot
+            self._start_tile(lane, t_tile, q_tile)
+            lanes.append(lane)
+            return
+
+    def _start_tile(
+        self, lane: _Lane, target: Sequence, query: Sequence
+    ) -> None:
+        m = len(target)
+        n = len(query)
+        lane.target = target
+        lane.query = query
+        lane.q_codes = query.codes
+        lane.m = m
+        lane.n = n
+        lane.sub_cols = self.matrix_o[:, target.codes]
+        key = str(lane.slot)
+        lane.v_store = self.ws.array("xv" + key, (n + 1, m + 2), self.dtype)
+        lane.u_store = self.ws.array("xu" + key, (n + 1, m + 2), self.dtype)
+        if self.with_traceback:
+            lane.h_store = self.ws.array(
+                "xh" + key, (n + 1, m + 2), self.dtype
+            )
+        else:
+            lane.h_store = None
+        boundary = _dp.boundary_scores(m, self.scoring, free=False)
+        lane.v_store[0, : m + 1] = boundary - self.o
+        lane.u_store[0, : m + 1] = self.negf
+        # Row 0 live set under the initial V_max = 0.
+        live = np.flatnonzero(boundary >= -self.ydrop)
+        last0 = int(live[-1]) if live.size else 0
+        lane.i = 1
+        lane.lo = 1
+        lane.hi = min(m, last0 + 1 + self.gap_slack)
+        lane.best = 0
+        lane.best_i = 0
+        lane.best_j = 0
+        lane.row_windows = []
+        lane.cells = 0
+
+    def _finish_lane(self, lane: _Lane, lanes: List[_Lane]) -> None:
+        best = lane.best
+        cigar: Optional[Cigar] = None
+        if self.with_traceback:
+            cigar = self._walk(lane) if best > 0 else Cigar(())
+        result = XDropExtension(
+            score=best,
+            max_i=lane.best_i if best > 0 else 0,
+            max_j=lane.best_j if best > 0 else 0,
+            cigar=cigar,
+            cells=lane.cells,
+            row_windows=tuple(lane.row_windows),
+        )
+        stream = lane.stream
+        slot = lane.slot
+        stream.consume(result)
+        self._admit(stream, lanes, slot)
+
+    # -- the row pipeline -------------------------------------------------
+
+    def run(self, streams: Iterable) -> None:
+        lanes: List[_Lane] = []
+        for stream in streams:
+            self._admit(stream, lanes, self._alloc_slot())
+        if not lanes:
+            return
+        cap = len(lanes)
+        wc = self.max_tile_len + 2
+        ws = self.ws
+        self.dg = ws.array("dg", (cap, wc), self.dtype)
+        self.uu = ws.array("uu", (cap, wc), self.dtype)
+        self.vb = ws.array("vb", (cap, wc), self.dtype)
+        self.acc = ws.array("acc", (cap, wc), self.dtype)
+        self.hh = ws.array("hh", (cap, wc), self.dtype)
+        self.vv = ws.array("vv", (cap, wc), self.dtype)
+        self.thr = ws.array("thr", (cap, 1), self.dtype)
+        self.liveb = ws.array("liveb", (cap, wc), np.dtype(bool))
+        while lanes:
+            self._step(lanes)
+
+    def _step(self, lanes: List[_Lane]) -> None:
+        negf = self.negf
+        o = self.o
+        e = self.e
+        n_lanes = len(lanes)
+        width = 0
+        for lane in lanes:
+            w = lane.hi - lane.lo + 1
+            if w > width:
+                width = w
+
+        # Per-lane gathers from the stored previous row into the batch
+        # slabs.  The stores hold ``V - o`` and ``U - e``, so the whole
+        # gap-candidate max ``U(i,j) = max(V(i-1,j)-o, U(i-1,j)-e)`` is
+        # one elementwise max of two stored rows, and the diagonal term
+        # uses the ``+o``-baked substitution volume; windows are
+        # absolute column slices, so each gather is a contiguous 1-D
+        # op.  Short lanes get a NEG-filled tail.
+        for idx, lane in enumerate(lanes):
+            lo = lane.lo
+            hi = lane.hi
+            row = lane.i
+            w = hi - lo + 1
+            vs_prev = lane.v_store[row - 1]
+            np.maximum(
+                vs_prev[lo : hi + 1],
+                lane.u_store[row - 1][lo : hi + 1],
+                out=self.uu[idx, :w],
+            )
+            np.add(
+                vs_prev[lo - 1 : hi],
+                lane.sub_cols[lane.q_codes[row - 1], lo - 1 : hi],
+                out=self.dg[idx, :w],
+            )
+            if w < width:
+                self.uu[idx, w:width] = negf
+                self.dg[idx, w:width] = negf
+            lane.boundary = (
+                -self.scoring.gap_cost(row) if lo == 1 else negf
+            )
+            self.acc[idx, 0] = lane.boundary
+
+        # One batched affine-gap row update for every lane (same op
+        # sequence as the reference row_update, minus pointer assembly).
+        uu = self.uu[:n_lanes, :width]
+        dg = self.dg[:n_lanes, :width]
+        vb = self.vb[:n_lanes, :width]
+        hh = self.hh[:n_lanes, :width]
+        vv = self.vv[:n_lanes, :width]
+        acc = self.acc[:n_lanes, : width + 1]
+        np.maximum(uu, dg, out=vb)
+        np.add(vb, self.ke[1 : width + 1], out=acc[:, 1:])
+        np.maximum.accumulate(acc, axis=1, out=acc)
+        np.subtract(acc[:, :width], self.oke[:width], out=hh)
+        np.maximum(vb, hh, out=vv)
+        amax = vv.argmax(axis=1)
+
+        # Best update must precede the live threshold (the row's own
+        # maximum tightens it), so the threshold compare is a second
+        # batched pass.
+        for idx, lane in enumerate(lanes):
+            j = int(amax[idx])
+            row_max = int(vv[idx, j])
+            if row_max > lane.best:
+                lane.best = row_max
+                lane.best_i = lane.i
+                lane.best_j = lane.lo + j
+            self.thr[idx, 0] = lane.best - self.ydrop
+
+        live = self.liveb[:n_lanes, :width]
+        np.greater_equal(vv, self.thr[:n_lanes], out=live)
+        first = live.argmax(axis=1)
+        last = width - 1 - live[:, ::-1].argmax(axis=1)
+
+        finished: List[_Lane] = []
+        for idx, lane in enumerate(lanes):
+            lo = lane.lo
+            hi = lane.hi
+            row = lane.i
+            w = hi - lo + 1
+            lane.row_windows.append((lo, hi))
+            lane.cells += w
+            f = int(first[idx])
+            if not live[idx, f]:
+                # Whole row below threshold: the extension dies here; the
+                # dead row still counts (window + cells) but stores
+                # nothing, exactly like the reference's early break.
+                finished.append(lane)
+                continue
+            vs = lane.v_store[row]
+            us = lane.u_store[row]
+            vs[lo - 1] = lane.boundary - o
+            np.subtract(vv[idx, :w], o, out=vs[lo : hi + 1])
+            np.subtract(uu[idx, :w], e, out=us[lo : hi + 1])
+            if self.with_traceback:
+                lane.h_store[row, lo : hi + 1] = hh[idx, :w]
+            if row == lane.n:
+                finished.append(lane)
+                continue
+            next_lo = lo + f
+            next_hi = min(lane.m, lo + int(last[idx]) + 1 + self.gap_slack)
+            if next_hi < next_lo:
+                finished.append(lane)
+                continue
+            if next_hi > hi:
+                # The next row reads past this row's written window where
+                # the reference sees NEG_INF; seed that margin.
+                vs[hi + 1 : next_hi + 1] = negf
+                us[hi + 1 : next_hi + 1] = negf
+            lane.lo = next_lo
+            lane.hi = next_hi
+            lane.i = row + 1
+
+        for lane in finished:
+            lanes.remove(lane)
+            self._finish_lane(lane, lanes)
+
+    # -- traceback --------------------------------------------------------
+
+    def _walk(self, lane: _Lane) -> Cigar:
+        """Reproduce the reference pointer walk from stored values.
+
+        Directions are recovered per cell in O(1) from the stored
+        (shifted) ``V``/``U`` rows and the true ``H`` rows: ``H == V``
+        says "V came from H" (the tie priority puts horizontal first);
+        otherwise ``V == U`` means a vertical move (``V == V0``
+        whenever the H test fails, and ``V0`` is ``max(U, diag)``);
+        diagonal is the only remaining case.  Gap-run extension flags
+        are ``H(i,j) == H(i,j-1) - e`` (equal to the forward pass's
+        prefix-scan test ``running[j-1] == running[j-2]``, since
+        ``H[c] = running[c-1] - o - (c-1)e``) and
+        ``U(i,j) == U(i-1,j) - e``; the shifted stores preserve both
+        equalities unchanged, and ``V == H`` / ``V == U`` just pick up
+        a constant ``o``/``o - e`` correction.
+        """
+        i = lane.best_i
+        j = lane.best_j
+        windows = lane.row_windows
+        vs = lane.v_store
+        us = lane.u_store
+        hs = lane.h_store
+        t_codes = lane.target.codes
+        q_codes = lane.q_codes
+        o = self.o
+        e = self.e
+        eo = e - o
+        ops: List[str] = []
+        state = "V"
+        while i > 0 and j > 0:
+            lo, hi = windows[i - 1]
+            inside = lo <= j <= hi
+            if state == "V":
+                if not inside:
+                    break
+                if int(hs[i, j]) == int(vs[i, j]) + o:
+                    state = "H"
+                elif int(vs[i, j]) == int(us[i, j]) + eo:
+                    state = "U"
+                else:
+                    same = (
+                        t_codes[j - 1] == q_codes[i - 1]
+                        and t_codes[j - 1] < 4
+                    )
+                    ops.append("=" if same else "X")
+                    i -= 1
+                    j -= 1
+            elif state == "H":
+                ops.append("D")
+                extend = (
+                    inside
+                    and j > lo
+                    and int(hs[i, j]) == int(hs[i, j - 1]) - e
+                )
+                state = "H" if extend else "V"
+                j -= 1
+            else:  # state == "U"
+                ops.append("I")
+                extend = inside and int(us[i, j]) == int(us[i - 1, j]) - e
+                state = "U" if extend else "V"
+                i -= 1
+        # Extension mode: pad with gap columns back to the tile origin.
+        ops.extend("D" * j)
+        ops.extend("I" * i)
+        return Cigar.from_ops(reversed(ops))
+
+
+def run_tile_streams(
+    streams: Iterable,
+    scoring: ScoringScheme,
+    ydrop: int,
+    max_tile_len: int,
+    with_traceback: bool = True,
+) -> None:
+    """Drive tile streams through one shared lockstep engine.
+
+    Each stream must provide ``next_tile() -> (target, query) | None``
+    and ``consume(XDropExtension)``; tiles longer than ``max_tile_len``
+    are not allowed (the engine sizes its batch buffers from it).
+    GACT-X uses this to run an anchor's left and right extensions in
+    lockstep, halving the per-row Python overhead.
+    """
+    if ydrop < 0:
+        raise ValueError("ydrop must be non-negative")
+    engine = _LaneEngine(scoring, ydrop, max_tile_len, with_traceback)
+    try:
+        engine.run(streams)
+    finally:
+        engine.close()
+
+
+class _SingleTile:
+    """A one-tile stream backing the plain ``xdrop_extend`` API."""
+
+    def __init__(self, target: Sequence, query: Sequence) -> None:
+        self._tile: Optional[Tuple[Sequence, Sequence]] = (target, query)
+        self.result: Optional[XDropExtension] = None
+
+    def next_tile(self) -> Optional[Tuple[Sequence, Sequence]]:
+        tile = self._tile
+        self._tile = None
+        return tile
+
+    def consume(self, extension: XDropExtension) -> None:
+        self.result = extension
+
+
 def xdrop_extend(
     target: Sequence,
     query: Sequence,
@@ -64,7 +500,7 @@ def xdrop_extend(
         query: query tile (rows).
         scoring: substitution matrix and affine gaps.
         ydrop: the ``Y`` parameter; cells below ``V_max - Y`` die.
-        with_traceback: record pointers and reconstruct the path.
+        with_traceback: record traceback state and reconstruct the path.
 
     Returns:
         An :class:`XDropExtension`; its CIGAR starts exactly at the tile
@@ -75,126 +511,7 @@ def xdrop_extend(
     m = len(target)
     n = len(query)
     if m == 0 or n == 0:
-        return XDropExtension(
-            score=0,
-            max_i=0,
-            max_j=0,
-            cigar=Cigar(()) if with_traceback else None,
-            cells=0,
-            row_windows=(),
-        )
-
-    gap_slack = ydrop // max(1, scoring.gap_extend) + 1
-    sub_columns = _dp.substitution_columns(target, scoring)
-
-    v_full = _dp.boundary_scores(m, scoring, free=False)
-    u_full = np.full(m + 1, _dp.NEG_INF)
-    best = np.int64(0)
-    best_i, best_j = 0, 0
-
-    # Row 0 live set under the initial V_max = 0.
-    live = np.flatnonzero(v_full >= -ydrop)
-    prev_first_live = 1
-    prev_last_live = int(live.max()) if live.size else 0
-
-    pointer_rows: List[np.ndarray] = []
-    row_offsets: List[int] = []
-    row_windows: List[Tuple[int, int]] = []
-    cells = 0
-
-    for i in range(1, n + 1):
-        lo = max(1, prev_first_live)
-        hi = min(m, prev_last_live + 1 + gap_slack)
-        if hi < lo:
-            break
-        subs = sub_columns[query.codes[i - 1], lo - 1 : hi]
-        left_boundary = (
-            np.int64(-scoring.gap_cost(i)) if lo == 1 else _dp.NEG_INF
-        )
-        v_row, u_row, _, pointers = _dp.row_update(
-            v_full[lo - 1 : hi + 1],
-            u_full[lo - 1 : hi + 1],
-            subs,
-            scoring,
-            left_boundary,
-            local=False,
-        )
-
-        row_max_idx = int(np.argmax(v_row[1:]))
-        row_max = v_row[1 + row_max_idx]
-        if row_max > best:
-            best = row_max
-            best_i = i
-            best_j = lo + row_max_idx
-
-        threshold = best - ydrop
-        live_rel = np.flatnonzero(v_row[1:] >= threshold)
-        # Trim the stored window to the live extent so that traceback
-        # memory accounting matches what the hardware would keep.
-        if live_rel.size == 0:
-            row_windows.append((lo, hi))
-            cells += hi - lo + 1
-            break
-        first_live = lo + int(live_rel[0])
-        last_live = lo + int(live_rel[-1])
-
-        v_full.fill(_dp.NEG_INF)
-        u_full.fill(_dp.NEG_INF)
-        v_full[lo - 1 : hi + 1] = v_row
-        u_full[lo - 1 : hi + 1] = u_row
-        if lo == 1:
-            v_full[0] = left_boundary
-
-        if with_traceback:
-            pointer_rows.append(pointers[1:])
-            row_offsets.append(lo)
-        row_windows.append((lo, hi))
-        cells += hi - lo + 1
-        prev_first_live = first_live
-        prev_last_live = last_live
-
-    cigar: Optional[Cigar] = None
-    if with_traceback:
-        if best > 0:
-            cigar, end_i, end_j = _traceback_from(
-                pointer_rows,
-                row_offsets,
-                target,
-                query,
-                best_i,
-                best_j,
-            )
-        else:
-            cigar = Cigar(())
-    return XDropExtension(
-        score=int(best),
-        max_i=best_i if best > 0 else 0,
-        max_j=best_j if best > 0 else 0,
-        cigar=cigar,
-        cells=cells,
-        row_windows=tuple(row_windows),
-    )
-
-
-def _traceback_from(
-    pointer_rows: List[np.ndarray],
-    row_offsets: List[int],
-    target: Sequence,
-    query: Sequence,
-    start_i: int,
-    start_j: int,
-) -> Tuple[Cigar, int, int]:
-    """Trace from the maximum back to the tile origin (padding gaps)."""
-    return (
-        _dp.traceback(
-            pointer_rows,
-            row_offsets,
-            target,
-            query,
-            start_i,
-            start_j,
-            pad_to_origin=True,
-        )[0],
-        0,
-        0,
-    )
+        return _empty_extension(with_traceback)
+    stream = _SingleTile(target, query)
+    run_tile_streams((stream,), scoring, ydrop, max(m, n), with_traceback)
+    return stream.result

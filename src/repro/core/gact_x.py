@@ -13,9 +13,17 @@ tiles with these rules:
 * extension in a direction terminates when a tile's ``V_max`` is zero or
   negative, or when the tile makes no forward progress.
 
-Left extension reuses the same loop on reversed sequences.  An anchor is
+Left extension reuses the same rules on reversed sequences.  An anchor is
 extended both ways and the merged path is rescored from its CIGAR, so gap
 runs that straddle the anchor or a tile boundary are charged correctly.
+
+The two directions run *in lockstep*: each is a :class:`_DirectionStream`
+that feeds tiles to — and receives extensions back from — the shared
+lane engine in :func:`repro.align.xdrop.run_tile_streams`, which batches
+one DP row of both directions' current tiles into a single set of vector
+ops.  Tile chaining is unaffected (a stream is asked for its next tile
+only after consuming the previous tile's result), so the stitched output
+is identical to running the directions one after the other.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from typing import List, Optional, Tuple
 from ..align.alignment import Alignment, AnchorHit
 from ..align.cigar import Cigar
 from ..align.scoring import ScoringScheme
-from ..align.xdrop import xdrop_extend
+from ..align.xdrop import XDropExtension, run_tile_streams
 from ..genome.sequence import Sequence
 from ..obs.tracer import NULL_TRACER
 from .config import ExtensionParams
@@ -117,41 +125,52 @@ def score_cigar(
     return total
 
 
-def _extend_one_direction(
-    target: Sequence,
-    query: Sequence,
-    scoring: ScoringScheme,
-    params: ExtensionParams,
-    tracer=NULL_TRACER,
-    direction: str = "right",
-) -> Tuple[Cigar, int, int, List[TileTrace]]:
-    """Tiled extension over ``target``/``query`` starting at position 0.
+class _DirectionStream:
+    """One direction's tile chain, expressed as a stream for the engine.
 
-    Returns ``(cigar, target_span, query_span, tile_traces)``.
+    ``next_tile``/``consume`` carry the stitched state machine of the
+    original per-direction loop: the engine asks for the next tile only
+    after the previous tile's extension has been consumed, so the chain
+    still decides each tile origin from the previous tile's maximum.
     """
-    with tracer.span("extend_direction", direction=direction) as span:
-        return _extend_loop(target, query, scoring, params, span)
 
+    def __init__(
+        self,
+        target: Sequence,
+        query: Sequence,
+        params: ExtensionParams,
+    ) -> None:
+        self._target = target
+        self._query = query
+        self._tile_size = params.tile_size
+        self._boundary = params.tile_size - params.overlap
+        self.cur_t = 0
+        self.cur_q = 0
+        self.pieces: List[Cigar] = []
+        self.traces: List[TileTrace] = []
+        self._done = False
+        self._t_tile: Optional[Sequence] = None
+        self._q_tile: Optional[Sequence] = None
 
-def _extend_loop(
-    target: Sequence,
-    query: Sequence,
-    scoring: ScoringScheme,
-    params: ExtensionParams,
-    span,
-) -> Tuple[Cigar, int, int, List[TileTrace]]:
-    tile_size = params.tile_size
-    boundary = tile_size - params.overlap
-    cur_t = 0
-    cur_q = 0
-    pieces: List[Cigar] = []
-    traces: List[TileTrace] = []
+    def next_tile(self) -> Optional[Tuple[Sequence, Sequence]]:
+        if self._done or not (
+            self.cur_t < len(self._target)
+            and self.cur_q < len(self._query)
+        ):
+            self._done = True
+            return None
+        self._t_tile = self._target.slice(
+            self.cur_t, self.cur_t + self._tile_size
+        )
+        self._q_tile = self._query.slice(
+            self.cur_q, self.cur_q + self._tile_size
+        )
+        return self._t_tile, self._q_tile
 
-    while cur_t < len(target) and cur_q < len(query):
-        t_tile = target.slice(cur_t, cur_t + tile_size)
-        q_tile = query.slice(cur_q, cur_q + tile_size)
-        extension = xdrop_extend(t_tile, q_tile, scoring, params.ydrop)
-        traces.append(
+    def consume(self, extension: XDropExtension) -> None:
+        t_tile = self._t_tile
+        q_tile = self._q_tile
+        self.traces.append(
             TileTrace(
                 rows=extension.rows_computed,
                 cells=extension.cells,
@@ -159,7 +178,9 @@ def _extend_loop(
             )
         )
         if extension.score <= 0 or extension.max_i == 0:
-            break
+            self._done = True
+            return
+        boundary = self._boundary
         in_overlap = (
             extension.max_i > boundary or extension.max_j > boundary
         )
@@ -167,11 +188,11 @@ def _extend_loop(
         # by the sequence end and the maximum reached that end — a
         # full-size tile boundary is handled by the overlap logic instead.
         target_exhausted = (
-            cur_t + len(t_tile) >= len(target)
+            self.cur_t + len(t_tile) >= len(self._target)
             and extension.max_j >= len(t_tile)
         )
         query_exhausted = (
-            cur_q + len(q_tile) >= len(query)
+            self.cur_q + len(q_tile) >= len(self._query)
             and extension.max_i >= len(q_tile)
         )
         at_edge = target_exhausted or query_exhausted
@@ -180,31 +201,31 @@ def _extend_loop(
             if di == 0 and dj == 0:
                 # The whole path lives in the overlap region; keep it and
                 # stop rather than loop without progress.
-                pieces.append(extension.cigar)
-                cur_t += extension.max_j
-                cur_q += extension.max_i
-                break
+                self.pieces.append(extension.cigar)
+                self.cur_t += extension.max_j
+                self.cur_q += extension.max_i
+                self._done = True
+                return
         else:
             piece, di, dj = (
                 extension.cigar,
                 extension.max_i,
                 extension.max_j,
             )
-        pieces.append(piece)
-        cur_t += dj
-        cur_q += di
+        self.pieces.append(piece)
+        self.cur_t += dj
+        self.cur_q += di
         if not in_overlap or at_edge:
             # x_max before the overlap region means X-drop ended the
             # alignment inside the tile; at a sequence edge there is
             # nothing left to extend into.
-            break
+            self._done = True
 
-    merged = Cigar(())
-    for piece in pieces:
-        merged = merged + piece
-    span.inc("extension_tiles", len(traces))
-    span.inc("extension_cells", sum(t.cells for t in traces))
-    return merged, cur_t, cur_q, traces
+    def merged_cigar(self) -> Cigar:
+        merged = Cigar(())
+        for piece in self.pieces:
+            merged = merged + piece
+        return merged
 
 
 def _reversed_sequence(seq: Sequence) -> Sequence:
@@ -222,37 +243,55 @@ def gact_x_extend(
     """Extend an anchor in both directions with GACT-X.
 
     The right extension includes the anchor base pair; the left extension
-    runs on the reversed prefixes.  The merged alignment is rescored from
-    its CIGAR and reported only when it reaches ``params.threshold``
-    (``H_e``).  When a tracer is supplied, one ``extend_anchor`` span is
-    recorded per call with left/right direction children.
+    runs on the reversed prefixes.  Both directions advance through one
+    lockstep lane engine (see the module docstring).  The merged
+    alignment is rescored from its CIGAR and reported only when it
+    reaches ``params.threshold`` (``H_e``).  When a tracer is supplied,
+    one ``extend_anchor`` span is recorded per call with a single paired
+    ``extend_direction`` child covering the lockstep run.
     """
     with tracer.span(
         "extend_anchor",
         target_pos=anchor.target_pos,
         query_pos=anchor.query_pos,
     ) as span:
-        right_cigar, right_t, right_q, right_tiles = (
-            _extend_one_direction(
-                target.slice(anchor.target_pos, len(target)),
-                query.slice(anchor.query_pos, len(query)),
-                scoring,
-                params,
-                tracer=tracer,
-                direction="right",
-            )
+        right = _DirectionStream(
+            target.slice(anchor.target_pos, len(target)),
+            query.slice(anchor.query_pos, len(query)),
+            params,
         )
-        left_cigar, left_t, left_q, left_tiles = _extend_one_direction(
+        left = _DirectionStream(
             _reversed_sequence(target.slice(0, anchor.target_pos)),
             _reversed_sequence(query.slice(0, anchor.query_pos)),
-            scoring,
             params,
-            tracer=tracer,
-            direction="left",
         )
+        with tracer.span(
+            "extend_direction", direction="paired"
+        ) as dspan:
+            run_tile_streams(
+                (right, left), scoring, params.ydrop, params.tile_size
+            )
+            dspan.inc(
+                "extension_tiles", len(right.traces) + len(left.traces)
+            )
+            dspan.inc(
+                "extension_cells",
+                sum(t.cells for t in right.traces)
+                + sum(t.cells for t in left.traces),
+            )
 
+        right_cigar, right_t, right_q = (
+            right.merged_cigar(),
+            right.cur_t,
+            right.cur_q,
+        )
+        left_cigar, left_t, left_q = (
+            left.merged_cigar(),
+            left.cur_t,
+            left.cur_q,
+        )
         cigar = left_cigar.reversed() + right_cigar
-        tiles = tuple(left_tiles) + tuple(right_tiles)
+        tiles = tuple(left.traces) + tuple(right.traces)
         span.inc("extension_tiles", len(tiles))
         span.inc("extension_cells", sum(t.cells for t in tiles))
         if len(cigar) == 0:

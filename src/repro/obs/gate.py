@@ -310,6 +310,34 @@ def compare_artifacts(
                 current=obs.get("dropped_events"), limit=0,
                 detail="telemetry bus dropped events during benchmark",
             )
+    base_kernels = baseline.get("kernels", {})
+    if comparable_timings and base_kernels:
+        cur_kernels = current.get("kernels", {})
+        for kernel, base_entry in sorted(base_kernels.items()):
+            if not isinstance(base_entry, dict):
+                continue
+            base_rate = base_entry.get("new_cells_per_sec")
+            if base_rate is None:
+                continue
+            check_id = f"kernels.{kernel}.new_cells_per_sec"
+            cur_rate = cur_kernels.get(kernel, {}).get("new_cells_per_sec")
+            if cur_rate is None:
+                result.add(
+                    check_id, "warn", baseline=base_rate,
+                    detail="kernel rate missing from current artifact",
+                )
+                continue
+            floor = base_rate * (1.0 - rate_tolerance)
+            result.add(
+                check_id,
+                "fail" if cur_rate < floor else "pass",
+                current=cur_rate, baseline=base_rate, limit=floor,
+                detail=(
+                    f"kernel throughput dropped beyond -{rate_tolerance:.0%}"
+                    if cur_rate < floor
+                    else ""
+                ),
+            )
     scaling = current.get("parallel_scaling")
     base_scaling = baseline.get("parallel_scaling")
     if (

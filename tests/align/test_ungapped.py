@@ -105,6 +105,51 @@ class TestBatch:
         )
         assert scores.size == 0
 
+    def test_pad_clamp_keeps_scores_for_edge_hits(self, rng):
+        """The padded slab is clamped to the longest live extension.
+
+        Hits at and near the sequence ends must return the same scores
+        and spans as an unclamped run: clamping only removes columns
+        that are out of range for *every* lane.  ``max_length`` far
+        beyond the sequence length forces the clamp to bind.
+        """
+        scoring = lastz_default()
+        t = Sequence(rng.integers(0, 4, 300).astype(np.uint8), "t")
+        codes_q = rng.integers(0, 4, 300).astype(np.uint8)
+        codes_q[:60] = t.codes[:60]  # hit at the very start
+        codes_q[240:] = t.codes[240:]  # hit at the very end
+        q = Sequence(codes_q, "q")
+        t_pos = np.array([0, 30, 150, 270, 299])
+        q_pos = np.array([0, 30, 150, 270, 299])
+        # max_length=4096 >> 300: an unclamped implementation would pad
+        # every lane out to 4096 boundary columns.
+        scores, lspans, rspans = ungapped_extend_batch(
+            t, q, t_pos, q_pos, scoring, xdrop=910, max_length=4096
+        )
+        for i in range(t_pos.size):
+            single = ungapped_extend(
+                t, q, int(t_pos[i]), int(q_pos[i]), scoring,
+                xdrop=910, max_length=4096,
+            )
+            assert scores[i] == single.score, i
+            if single.score > 0:
+                assert rspans[i] == single.target_end - t_pos[i], i
+                assert lspans[i] == t_pos[i] - single.target_start, i
+        # The start/end hits really did extend to the boundary.
+        assert lspans[0] == 0 and rspans[0] >= 60
+        assert rspans[4] == 1 and lspans[4] >= 59
+
+    def test_pad_clamp_zero_width_batch(self, rng):
+        """All hits at position 0 of both sequences: left cap is zero."""
+        scoring = lastz_default()
+        t = Sequence(rng.integers(0, 4, 40).astype(np.uint8))
+        scores, lspans, rspans = ungapped_extend_batch(
+            t, t, np.array([0, 0]), np.array([0, 0]),
+            scoring, xdrop=910, max_length=4096,
+        )
+        assert (lspans == 0).all()
+        assert (scores > 0).all()
+
     def test_out_of_range_positions_score_zero_side(self, rng):
         scoring = lastz_default()
         t = Sequence(rng.integers(0, 4, 50).astype(np.uint8))

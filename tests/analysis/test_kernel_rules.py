@@ -59,6 +59,23 @@ class TestNarrowDtype:
         )
         assert findings == []
 
+    def test_reference_oracle_module_is_exempt(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def kernel(a, b):
+                scores = np.zeros((4, 4), dtype=np.int16)
+                for i in range(len(a)):
+                    for j in range(len(b)):
+                        scores[i % 4, j % 4] += 1
+                return scores
+            """,
+            modname="repro.align._reference",
+            select=KER,
+        )
+        assert findings == []
+
 
 class TestNestedLoop:
     def test_flags_loop_over_both_axes(self):
