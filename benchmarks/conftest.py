@@ -160,9 +160,10 @@ def _stage_perf(trace):
 def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
     """Persist the aggregate perf artifact for all pair runs.
 
-    Sections written by other benchmark modules (the ``kernels``
-    old-vs-new comparison from ``bench_kernels``) are carried over from
-    an existing artifact rather than clobbered.
+    Sections written by other benchmark modules (``kernels``,
+    ``parallel_scaling``, ``fault_overhead``, ``obs_overhead``) are
+    carried over from an existing artifact rather than clobbered, so a
+    partial benchmark run never silently drops a sibling's section.
     """
     try:
         previous = json.loads(Path(path).read_text())
@@ -191,8 +192,15 @@ def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
             for run in runs
         },
     }
-    if "kernels" in previous:
-        artifact["kernels"] = previous["kernels"]
+    carried_sections = (
+        "kernels",
+        "parallel_scaling",
+        "fault_overhead",
+        "obs_overhead",
+    )
+    for carried in carried_sections:
+        if carried in previous:
+            artifact[carried] = previous[carried]
     Path(path).write_text(json.dumps(artifact, indent=2, sort_keys=True))
     return artifact
 

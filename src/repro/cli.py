@@ -157,6 +157,15 @@ def _add_align(subparsers) -> None:
         "(output is byte-identical for any value)",
     )
     parser.add_argument(
+        "--no-streaming",
+        dest="streaming",
+        action="store_false",
+        default=None,
+        help="run parallel strand extension as barrier phases instead "
+        "of the streamed seed->filter->extend dataflow (A/B lever; "
+        "output is byte-identical either way)",
+    )
+    parser.add_argument(
         "--index-cache",
         type=Path,
         default=None,
@@ -302,6 +311,19 @@ def _print_recovery(stats) -> None:
     )
 
 
+def _print_stream(summary) -> None:
+    if not summary:
+        return
+    print(
+        f"stream: occupancy {summary['occupancy']:.3f}, "
+        f"idle tail {summary['idle_tail_seconds']:.3f}s, "
+        f"peak in-flight {summary['peak_in_flight']}, "
+        f"{summary['backpressure_stalls']} backpressure stalls, "
+        f"{summary['dispatched_tasks']} dispatched / "
+        f"{summary['collected_tasks']} collected tasks"
+    )
+
+
 def _cmd_align(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -358,10 +380,12 @@ def _cmd_align(args) -> int:
                 index_cache=args.index_cache,
                 resilience=resilience,
                 telemetry=telemetry,
+                streaming=args.streaming,
             )
             with aligner:
                 result = aligner.align(targets[0], queries[0])
             progress.advance(units=1)
+            _print_stream(aligner.last_stream)
     telemetry_summary = telemetry.finish()
     telemetry.close()
     progress.close()

@@ -29,6 +29,7 @@ from .pipeline import (
     align_assemblies,
     align_pair,
 )
+from .stream import BoundedQueue, StrandStream, StreamParams
 
 __all__ = [
     "CoverageGrid",
@@ -51,6 +52,9 @@ __all__ = [
     "Workload",
     "align_pair",
     "align_assemblies",
+    "BoundedQueue",
+    "StrandStream",
+    "StreamParams",
     "alignment_detail",
     "chain_table",
     "dotplot",

@@ -59,13 +59,17 @@ def extend_anchors(
     tracer=NULL_TRACER,
     engine: Optional[ExecutionEngine] = None,
     keep_tile_traces: bool = True,
+    observer=None,
 ) -> List[Alignment]:
     """Extend ``anchors`` (already in serial priority order) with GACT-X.
 
     Mutates ``grid`` and ``workload`` exactly as the serial loop would
     and returns the alignments in serial order.  With an active
     ``engine`` the per-anchor extensions run in worker processes; the
-    result is identical either way.
+    result is identical either way.  ``observer`` (a
+    :class:`repro.obs.occupancy.StreamStats`) records the dispatch
+    schedule so barrier runs report the same occupancy/idle-tail
+    numbers the streamed dataflow does.
     """
     with tracer.span("extend") as extend_span:
         if engine is not None and engine.active and len(anchors) > 1:
@@ -80,6 +84,7 @@ def extend_anchors(
                 tracer,
                 engine,
                 keep_tile_traces,
+                observer,
             )
         else:
             alignments = _extend_serial(
@@ -164,6 +169,7 @@ def _extend_parallel(
     tracer,
     engine: ExecutionEngine,
     keep_tile_traces,
+    observer=None,
 ) -> List[Alignment]:
     traced = tracer.enabled
     telemetry = engine.telemetry
@@ -177,7 +183,8 @@ def _extend_parallel(
 
     alignments: List[Alignment] = []
     seen_spans: set = set()
-    in_flight: deque = deque()
+    # Bounded by max_in_flight via the dispatch() guard below.
+    in_flight: deque = deque()  # repro: allow[PAR003] capped at max_in_flight batches
     position = 0
     batch_number = 0
 
@@ -213,12 +220,18 @@ def _extend_parallel(
             )
             batch_number += 1
             in_flight.append((batch, ticket, base))
+            if observer is not None:
+                # Depth is counted in dispatch units (one batch = one
+                # task occupying one worker slot), matching `slots`.
+                observer.dispatched()
         progress.set_in_flight(len(in_flight))
 
     dispatch()
     while in_flight:
         batch, ticket, base = in_flight.popleft()
         results, span_dicts, ack = engine.result(ticket, tracer=tracer)
+        if observer is not None:
+            observer.collected()
         if registry is not None:
             registry.histogram("queue_depth").observe(len(in_flight))
             if ack is not None:

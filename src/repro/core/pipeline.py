@@ -26,6 +26,7 @@ from ..resilience.checkpoint import (
     config_digest,
     sequences_digest,
 )
+from ..obs.occupancy import StreamStats
 from ..resilience.policy import ResilienceOptions
 from ..seed.cache import SeedIndexCache
 from ..seed.dsoft import dsoft_seed
@@ -35,6 +36,12 @@ from .config import DarwinWGAConfig
 from .extension import extend_anchors
 from .gact_x import TileTrace
 from .gapped_filter import gapped_filter
+from .stream import (
+    BoundedQueue,
+    StreamParams,
+    _stall_if_planned,
+    streamed_strand_align,
+)
 from .worker import align_unit_task
 
 if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
@@ -141,7 +148,13 @@ class DarwinWGA:
     ``workers > 1`` fans the extension stage out over a process pool
     (deterministically — output is byte-identical to ``workers=1``);
     an externally owned :class:`~repro.parallel.engine.ExecutionEngine`
-    may be passed instead to share one pool across aligners.
+    may be passed instead to share one pool across aligners.  Parallel
+    runs use the streamed dataflow (:mod:`repro.core.stream`) by
+    default: seeding/filtering of later strands overlaps in-flight
+    extensions under a bounded in-flight watermark.  ``streaming=False``
+    keeps the legacy barrier schedule (all seed+filter, then all
+    extension, per strand) — the output is byte-identical either way;
+    only the schedule (and the idle tail) differs.
     ``index_cache`` (a directory path or
     :class:`~repro.seed.cache.SeedIndexCache`) persists seed indexes
     across runs.  ``telemetry`` (a
@@ -160,8 +173,16 @@ class DarwinWGA:
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
         resilience: Optional[ResilienceOptions] = None,
         telemetry: Optional[TelemetryOptions] = None,
+        streaming: Optional[bool] = None,
+        stream_params: Optional[StreamParams] = None,
     ) -> None:
         self.config = config or DarwinWGAConfig()
+        self.streaming = streaming
+        self.stream_params = stream_params
+        #: Occupancy/backpressure summary of the last parallel align()
+        #: (a :meth:`repro.obs.occupancy.StreamStats.summary` dict), or
+        #: None for serial runs.
+        self.last_stream = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = engine.workers if engine is not None else workers
         if resilience is None and engine is not None:
@@ -234,20 +255,38 @@ class DarwinWGA:
             if index is None:
                 index = self._build_index(target)
             strands = (1, -1) if config.both_strands else (1,)
-            alignments: List[Alignment] = []
-            workload = Workload()
-            for strand in strands:
-                oriented = (
-                    query if strand == 1 else query.reverse_complement()
+            engine = self.engine
+            parallel = engine is not None and engine.active
+            if parallel and self.streaming is not False:
+                alignments, workload, stats = streamed_strand_align(
+                    self, target, query, index, strands,
+                    keep_tile_traces=True,
                 )
-                with tracer.span(
-                    "strand", strand="+" if strand == 1 else "-"
-                ):
-                    strand_result = self._align_strand(
-                        target, oriented, index, strand
+                self.last_stream = stats.summary()
+            else:
+                observer = (
+                    StreamStats(slots=engine.workers) if parallel else None
+                )
+                alignments = []
+                workload = Workload()
+                for strand in strands:
+                    oriented = (
+                        query if strand == 1 else query.reverse_complement()
                     )
-                alignments.extend(strand_result.alignments)
-                workload.merge(strand_result.workload)
+                    with tracer.span(
+                        "strand", strand="+" if strand == 1 else "-"
+                    ):
+                        strand_result = self._align_strand(
+                            target, oriented, index, strand,
+                            observer=observer,
+                        )
+                    alignments.extend(strand_result.alignments)
+                    workload.merge(strand_result.workload)
+                if observer is not None:
+                    observer.close()
+                self.last_stream = (
+                    observer.summary() if observer is not None else None
+                )
             alignments.sort(key=lambda a: -a.score)
             span.inc("seed_hits", workload.seed_hits)
             span.inc("filter_tiles", workload.filter_tiles)
@@ -259,13 +298,21 @@ class DarwinWGA:
             span.inc("alignments", len(alignments))
             return WGAResult(alignments=alignments, workload=workload)
 
-    def _align_strand(
+    def _seed_filter_strand(
         self,
         target: Sequence,
         query: Sequence,
         index: SeedIndex,
         strand: int,
-    ) -> WGAResult:
+    ):
+        """One strand's producer stage: seed, filter, order anchors.
+
+        Returns ``(ordered_anchors, workload, grid)`` — everything the
+        extension stage (serial, barrier-parallel or streamed) needs.
+        The sort by filter score is a deliberate per-strand ordering
+        barrier: extension priority determines absorption, so it is
+        part of the byte-identical-output contract.
+        """
         config = self.config
         tracer = self.tracer
         seeding = dsoft_seed(index, query, config.dsoft, tracer=tracer)
@@ -285,24 +332,37 @@ class DarwinWGA:
             filter_cells=filter_result.cells,
             anchors=len(filter_result.anchors),
         )
-
         grid = CoverageGrid(config.absorb_granularity)
         # Extend best-filter-score first so absorption keeps the anchors
         # most likely to seed the strongest alignments.
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
         )
+        return ordered, workload, grid
+
+    def _align_strand(
+        self,
+        target: Sequence,
+        query: Sequence,
+        index: SeedIndex,
+        strand: int,
+        observer: Optional[StreamStats] = None,
+    ) -> WGAResult:
+        ordered, workload, grid = self._seed_filter_strand(
+            target, query, index, strand
+        )
         alignments = extend_anchors(
             target,
             query,
             ordered,
-            config.scoring,
-            config.extension,
+            self.config.scoring,
+            self.config.extension,
             grid,
             workload,
-            tracer=tracer,
+            tracer=self.tracer,
             engine=self.engine,
             keep_tile_traces=True,
+            observer=observer,
         )
         return WGAResult(alignments=alignments, workload=workload)
 
@@ -365,6 +425,7 @@ def align_assemblies(
     resume: bool = False,
     resilience: Optional[ResilienceOptions] = None,
     telemetry: Optional[TelemetryOptions] = None,
+    stream: Optional[StreamParams] = None,
 ) -> WGAResult:
     """Whole-assembly WGA: every target chromosome vs every query
     chromosome (the paper's actual task — its species have multiple
@@ -438,6 +499,8 @@ def align_assemblies(
                 cache,
                 manifest,
                 stats,
+                resilience,
+                stream,
             )
         aligner = aligner_class(
             resolved_config,
@@ -482,6 +545,13 @@ def align_assemblies(
             pool.close()
 
 
+def _assembly_units(target_assembly, query_assembly):
+    """Lazy serial-order unit stream (the producer stage)."""
+    for ti, target in enumerate(target_assembly):
+        for qi, query in enumerate(query_assembly):
+            yield ti, target, qi, query
+
+
 def _align_assemblies_parallel(
     target_assembly,
     query_assembly,
@@ -492,16 +562,24 @@ def _align_assemblies_parallel(
     cache: Optional[SeedIndexCache],
     manifest: Optional[RunManifest],
     stats,
+    resilience: Optional[ResilienceOptions] = None,
+    stream: Optional[StreamParams] = None,
 ) -> WGAResult:
-    """Fan (target chromosome, query chromosome) units over the engine.
+    """Stream (target chromosome, query chromosome) units over the engine.
 
-    Submission and result gathering both follow the serial iteration
-    order, and each unit is internally serial, so alignments, workload
-    counters and the final stable sort reproduce the serial run exactly
-    — including under supervised recovery (retries, pool rebuilds and
-    serial fallbacks change where a unit runs, never its value or its
-    position in the gather order) and under resume (journaled units are
-    replayed at their original positions).
+    Units flow through a bounded in-flight window (a
+    :class:`~repro.core.stream.BoundedQueue` of ``unit_window`` slots)
+    instead of being dispatched wholesale up front: the producer shares
+    sequences and dispatches lazily, throttled whenever the window is
+    full, so pending pickled results stay bounded and memory flat at
+    any assembly size.  Submission and result gathering both follow the
+    serial iteration order, and each unit is internally serial, so
+    alignments, workload counters and the final stable sort reproduce
+    the serial run exactly — including under supervised recovery
+    (retries, pool rebuilds and serial fallbacks change where a unit
+    runs, never its value or its position in the gather order) and
+    under resume (journaled units are replayed at their original
+    positions, passing through the window without occupying a slot).
     """
     traced = tracer.enabled
     cache_dir = str(cache.directory) if cache is not None else None
@@ -509,56 +587,85 @@ def _align_assemblies_parallel(
     registry = telemetry.registry if telemetry is not None else None
     bus = engine.bus
     progress = engine.progress
+    stream = stream or StreamParams()
+    window = stream.unit_window_for(engine.workers)
+    occupancy = StreamStats(slots=engine.workers)
     alignments: List[Alignment] = []
     workload = Workload()
     with tracer.span("align_assemblies") as span:
-        units = []
-        for ti, target in enumerate(target_assembly):
-            target_handle = None
-            for qi, query in enumerate(query_assembly):
-                key = _unit_key(ti, target, qi, query)
-                if manifest is not None and key in manifest:
-                    units.append((key, None, None))
-                    continue
-                if target_handle is None:
-                    if cache is not None:
-                        # Warm the on-disk index once per target so
-                        # every worker unit loads it as a cache hit.
-                        cache.get_or_build(
-                            target, resolved_config.seed, tracer=tracer
-                        )
-                    target_handle = engine.share(target)
-                base = tracer.now()
-                if bus is not None:
-                    # Workers stream this unit's spans with relative
-                    # timestamps; the bus grafts them onto the parent
-                    # timeline at the unit's dispatch offset.
-                    bus.register_unit(key, base)
-                ticket = engine.dispatch(
-                    align_unit_task,
-                    aligner_class,
-                    resolved_config,
-                    target_handle,
-                    engine.share(query),
-                    cache_dir,
-                    traced,
-                    key,
-                    key=key,
-                )
-                units.append((key, ticket, base))
-        outstanding = sum(1 for _, ticket, _ in units if ticket is not None)
-        progress.set_in_flight(outstanding)
-        for key, ticket, base in units:
+        units = _assembly_units(target_assembly, query_assembly)
+        queue = BoundedQueue("assembly_units", capacity=window)
+        target_handles: dict = {}
+        outstanding = 0
+        exhausted = False
+
+        def _dispatch_next() -> bool:
+            """Produce + dispatch one unit; False when none remain."""
+            nonlocal exhausted, outstanding
+            entry = next(units, None)
+            if entry is None:
+                exhausted = True
+                return False
+            ti, target, qi, query = entry
+            key = _unit_key(ti, target, qi, query)
+            if manifest is not None and key in manifest:
+                # Journaled units cost no worker: they ride the queue
+                # as markers so they merge at their original position.
+                queue.offer((key, None, None))
+                return True
+            if ti not in target_handles:
+                if cache is not None:
+                    # Warm the on-disk index once per target so every
+                    # worker unit loads it as a cache hit.
+                    cache.get_or_build(
+                        target, resolved_config.seed, tracer=tracer
+                    )
+                target_handles[ti] = engine.share(target)
+            base = tracer.now()
+            if bus is not None:
+                # Workers stream this unit's spans with relative
+                # timestamps; the bus grafts them onto the parent
+                # timeline at the unit's dispatch offset.
+                bus.register_unit(key, base)
+            ticket = engine.dispatch(
+                align_unit_task,
+                aligner_class,
+                resolved_config,
+                target_handles[ti],
+                engine.share(query),
+                cache_dir,
+                traced,
+                key,
+                key=key,
+            )
+            queue.offer((key, ticket, base))
+            outstanding += 1
+            occupancy.dispatched()
+            progress.set_in_flight(outstanding)
+            return True
+
+        while True:
+            # Fill the window; stop at capacity (backpressure) or when
+            # the producer runs dry.
+            while not exhausted and outstanding < window and not queue.full:
+                _dispatch_next()
+            if not exhausted and outstanding >= window:
+                occupancy.stalled()
+            if not len(queue):
+                break
+            key, ticket, base = queue.take()
             if ticket is None:
                 result = manifest.result_for(key)
                 span.inc("resumed_units")
                 if stats is not None:
                     stats.resumed_units += 1
             else:
+                _stall_if_planned(resilience, key)
                 result, span_dicts, ack = engine.result(
                     ticket, tracer=tracer
                 )
                 outstanding -= 1
+                occupancy.collected()
                 collected = tracer.now()
                 if registry is not None:
                     registry.histogram("queue_depth").observe(outstanding)
@@ -589,6 +696,20 @@ def _align_assemblies_parallel(
                 units=1,
                 cells=result.workload.filter_cells
                 + result.workload.extension_cells,
+            )
+        occupancy.close()
+        span.set(
+            occupancy=round(occupancy.occupancy(), 6),
+            backpressure_stalls=occupancy.backpressure_stalls,
+            peak_in_flight=occupancy.peak_in_flight,
+        )
+        if registry is not None:
+            registry.counter("stream_backpressure_stalls").inc(
+                occupancy.backpressure_stalls
+            )
+            registry.gauge("stream_occupancy").set(occupancy.occupancy())
+            registry.gauge("stream_peak_in_flight").set(
+                occupancy.peak_in_flight
             )
         if bus is not None:
             missing = bus.drain()

@@ -1,0 +1,501 @@
+"""Streaming seed->filter->extend dataflow with bounded queues.
+
+The pipelines historically ran as barrier phases: all seeding, then all
+filtering, then all extension — per strand, with a full worker drain
+between phases.  This module restructures that into a cooperative
+single-threaded stage graph:
+
+* the **producer** stage runs one strand's seeding + gapped filtering
+  and emits its priority-ordered anchors into a bounded strand queue
+  (:class:`BoundedQueue`) — at most ``strand_queue_capacity`` strands'
+  anchors are ever materialized, so memory stays flat;
+* the **extension frontier** forms small anchor batches in strict
+  serial order and dispatches them to the
+  :class:`~repro.parallel.engine.ExecutionEngine` as soon as the
+  in-flight watermark (``max_in_flight_anchors``) has room — no
+  end-of-strand barrier: the next strand's producer step runs while the
+  previous strand's last batches are still in flight, which is exactly
+  the idle tail the barrier schedule paid;
+* the **sink** collects results strictly in dispatch order and replays
+  the serial commit loop (`grid.absorbs` re-check, dedup, coverage
+  update), so the output is byte-identical to serial at any worker
+  count — the same speculative-dispatch/in-order-replay argument as
+  :mod:`repro.core.extension`, with the speculation window now bounded
+  by the watermark instead of ``batches x batch_size`` anchors.
+
+Backpressure is explicit and observable: the producer only runs when
+the frontier is starved and the strand queue has room; every refusal is
+counted (``backpressure_stalls``) and the whole schedule is integrated
+by :class:`repro.obs.occupancy.StreamStats` into per-stage occupancy
+and ``idle_tail_seconds``.
+
+Fault injection understands streams: a ``stall`` fault
+(:data:`repro.resilience.faults.FAULT_KINDS`) sleeps before a
+collection, modelling a slow consumer; crashes/timeouts ride the
+normal :class:`~repro.parallel.supervise.ResilientDispatcher` ladder,
+and checkpoint/resume journals whole units exactly as before.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from ..align.alignment import Alignment
+from ..obs.export import graft_span_dicts
+from ..obs.occupancy import StreamStats
+from ..obs.tracer import NULL_TRACER
+from .extension import _commit
+from .worker import extend_batch_task
+
+if TYPE_CHECKING:  # repro.parallel sits above core in the layer DAG
+    from ..parallel.engine import ExecutionEngine
+
+__all__ = [
+    "BoundedQueue",
+    "StrandStream",
+    "StreamParams",
+    "stream_extension",
+    "streamed_strand_align",
+]
+
+#: Injectable sleep used by the ``stall`` fault kind (tests patch it).
+_sleep = time.sleep
+
+
+class BoundedQueue:
+    """A bounded FIFO stage queue with cooperative backpressure.
+
+    Single-threaded by design: stages run interleaved in one
+    coordinator loop, so "blocking" is cooperative — :meth:`offer`
+    returns ``False`` (and counts a stall) when the queue is full, and
+    the caller yields to the consumer instead of growing the buffer.
+    Every queue therefore has a hard capacity; an unbounded stage
+    buffer is a lint error (PAR003).
+    """
+
+    __slots__ = ("name", "capacity", "stalls", "peak", "_items")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        self.stalls = 0
+        self.peak = 0
+        # Bounded by `capacity` via the offer() guard below.
+        self._items: deque = deque()  # repro: allow[PAR003] offer() enforces capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, item) -> bool:
+        """Enqueue ``item`` unless full; a refusal counts as a stall."""
+        if self.full:
+            self.stalls += 1
+            return False
+        self._items.append(item)
+        if len(self._items) > self.peak:
+            self.peak = len(self._items)
+        return True
+
+    def take(self):
+        """Dequeue the oldest item (raises IndexError when empty)."""
+        return self._items.popleft()
+
+    def head(self):
+        """The oldest item without dequeuing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Tuning knobs for the streaming dataflow (zero means "derive").
+
+    ``max_in_flight_anchors`` is the speculation watermark: how many
+    anchors may be dispatched ahead of the committed coverage grid.
+    Smaller windows waste fewer speculative extensions (an anchor
+    dispatched against a stale grid may be absorbed at replay and its
+    work discarded); larger windows keep more workers fed.  The default
+    is one anchor per worker: eager replay refills a freed slot as soon
+    as its result settles, so extra slack mostly buys wasted
+    speculation — far tighter than the barrier path's
+    ``(workers + 1) x batch_size`` anchors.
+
+    ``defer_diagonal_bp`` is a dependence heuristic, not a correctness
+    knob: an in-flight anchor's alignment runs along its diagonal
+    ``target_pos - query_pos``, so a later anchor within that band is
+    the one most likely to be absorbed once the in-flight result
+    commits.  Deferring its dispatch until then (never reordering —
+    the frontier simply pauses) converts near-certain wasted
+    speculation into a short wait; anchors on distant diagonals still
+    dispatch freely.  Zero disables deferral.
+    """
+
+    max_in_flight_anchors: int = 0  # 0 -> one per worker
+    anchor_batch: int = 0  # 0 -> 1 anchor per dispatch
+    strand_queue_capacity: int = 2
+    unit_window: int = 0  # 0 -> max(2 * workers, workers + 2)
+    stall_seconds: float = 0.02
+    defer_diagonal_bp: int = 256
+
+    def in_flight_limit(self, workers: int) -> int:
+        if self.max_in_flight_anchors > 0:
+            return self.max_in_flight_anchors
+        return max(1, workers)
+
+    def batch_limit(self) -> int:
+        return self.anchor_batch if self.anchor_batch > 0 else 1
+
+    def unit_window_for(self, workers: int) -> int:
+        if self.unit_window > 0:
+            return self.unit_window
+        return max(2 * workers, workers + 2)
+
+
+DEFAULT_STREAM = StreamParams()
+
+
+class StrandStream:
+    """One strand's anchors flowing through the extension frontier.
+
+    Produced whole by the seed+filter stage (the per-strand sort by
+    filter score is a deliberate ordering barrier — extension priority
+    is a determinism invariant), then drained anchor by anchor with
+    per-strand replay state so commits evolve exactly as the serial
+    per-strand loop.
+    """
+
+    __slots__ = (
+        "query",
+        "anchors",
+        "grid",
+        "workload",
+        "position",
+        "alignments",
+        "seen_spans",
+    )
+
+    def __init__(self, query, anchors, grid, workload) -> None:
+        self.query = query
+        self.anchors = anchors
+        self.grid = grid
+        self.workload = workload
+        self.position = 0
+        self.alignments: List[Alignment] = []
+        self.seen_spans: set = set()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.anchors)
+
+
+def _stall_if_planned(resilience, key: str) -> None:
+    """Sleep before a collection when the fault plan schedules a stall."""
+    if resilience is None or resilience.fault_plan is None:
+        return
+    plan = resilience.fault_plan
+    if plan.decide("stall", key):
+        resilience.stats.inject("stall")
+        _sleep(DEFAULT_STREAM.stall_seconds)
+
+
+def stream_extension(
+    target,
+    strand_count: int,
+    produce: Callable[[int], StrandStream],
+    scoring,
+    params,
+    engine: "ExecutionEngine",
+    tracer=NULL_TRACER,
+    stream: Optional[StreamParams] = None,
+    keep_tile_traces: bool = True,
+    resilience=None,
+) -> Tuple[List[StrandStream], StreamStats]:
+    """Drive ``strand_count`` strands through the streamed frontier.
+
+    ``produce(i)`` runs strand ``i``'s seed+filter stage and returns a
+    :class:`StrandStream`; it is called lazily, under backpressure —
+    only when the extension frontier is starved and the bounded strand
+    queue has room — so later strands' seeding overlaps earlier
+    strands' in-flight extensions instead of waiting for a drain.
+
+    Returns the per-strand streams (in serial strand order, each with
+    its committed alignments and workload) plus the schedule's
+    :class:`StreamStats`.  Byte-identical to running
+    :func:`repro.core.extension.extend_anchors` per strand serially.
+    """
+    stream = stream or DEFAULT_STREAM
+    limit = stream.in_flight_limit(engine.workers)
+    batch_cap = stream.batch_limit()
+    traced = tracer.enabled
+    telemetry = engine.telemetry
+    registry = telemetry.registry if telemetry is not None else None
+    bus = engine.bus
+    progress = engine.progress
+    stats = StreamStats(slots=engine.workers)
+
+    target_handle = engine.share(target)
+    strand_queue = BoundedQueue(
+        "strand_anchors", stream.strand_queue_capacity
+    )
+    states: List[StrandStream] = []
+    # Oldest-first dispatch ledger; bounded by `limit` anchors via the
+    # watermark checks in _try_dispatch.
+    in_flight: deque = deque()  # repro: allow[PAR003] bounded by the in-flight anchor watermark
+    in_flight_anchors = 0
+    head = 0  # index of the state the frontier is currently draining
+    batch_number = 0
+    produced = 0
+
+    def _produce_next() -> None:
+        nonlocal produced
+        state = produce(produced)
+        produced += 1
+        stats.produced()
+        # Capacity was checked by the caller; a refusal here would be a
+        # coordinator bug, so let it surface.
+        if not strand_queue.offer(state):
+            raise RuntimeError("strand queue overflow")
+        states.append(state)
+
+    def _deferred(state, anchor, batch) -> bool:
+        """Whether to pause speculation on ``anchor`` (scheduling only).
+
+        True when a same-strand anchor already in flight (or in the
+        batch being formed) sits within ``defer_diagonal_bp`` of this
+        anchor's diagonal — its alignment will likely absorb this one,
+        so dispatching now is near-certain waste.  Deferring never
+        reorders: the frontier stops forming and resumes after the
+        blocking result commits.
+        """
+        band = stream.defer_diagonal_bp
+        if band <= 0:
+            return False
+        diag = anchor.target_pos - anchor.query_pos
+        for pending in batch:
+            if abs(pending.target_pos - pending.query_pos - diag) <= band:
+                return True
+        for other, flying, _ticket, _base, _number in in_flight:
+            if other is not state:
+                continue
+            for pending in flying:
+                pd = pending.target_pos - pending.query_pos
+                if abs(pd - diag) <= band:
+                    return True
+        return False
+
+    def _try_dispatch() -> bool:
+        """Form and dispatch batches in serial order up to the watermark.
+
+        Returns True when the frontier paused on a diagonal-dependence
+        deferral (anchors remain but speculating them now would be
+        waste) — the caller may use the pause to run the producer.
+        """
+        nonlocal head, in_flight_anchors, batch_number
+        deferred = False
+        while head < len(states) and in_flight_anchors < limit:
+            state = states[head]
+            batch = []
+            while (
+                not state.exhausted
+                and len(batch) < batch_cap
+                and in_flight_anchors + len(batch) < limit
+            ):
+                anchor = state.anchors[state.position]
+                # The grid only grows, so an anchor it already absorbs
+                # would also be absorbed at its serial turn: skipping at
+                # formation time is always correct.
+                if state.grid.absorbs(anchor):
+                    state.position += 1
+                    state.workload.absorbed_anchors += 1
+                    continue
+                if _deferred(state, anchor, batch):
+                    deferred = True
+                    break
+                state.position += 1
+                batch.append(anchor)
+            if batch:
+                base = tracer.now()
+                ticket = engine.dispatch(
+                    extend_batch_task,
+                    target_handle,
+                    engine.share(state.query),
+                    tuple(batch),
+                    scoring,
+                    params,
+                    traced,
+                    key=f"extend:{batch_number}",
+                )
+                in_flight.append(
+                    (state, tuple(batch), ticket, base, batch_number)
+                )
+                in_flight_anchors += len(batch)
+                batch_number += 1
+                depth = stats.dispatched()
+                if registry is not None:
+                    registry.histogram("stream_queue_depth").observe(depth)
+                continue
+            if state.exhausted:
+                # Fully dispatched: free this strand's queue slot so the
+                # producer may run again.
+                strand_queue.take()
+                head += 1
+                continue
+            break  # watermark or deferral reached mid-strand
+        progress.set_in_flight(len(in_flight))
+        return deferred
+
+    def _starved() -> bool:
+        """No produced anchors left to dispatch."""
+        return head >= len(states)
+
+    def _collect_one() -> None:
+        """Collect the oldest in-flight batch and replay it in order."""
+        nonlocal in_flight_anchors
+        state, batch, ticket, base, number = in_flight.popleft()
+        _stall_if_planned(resilience, f"extend:{number}")
+        results, span_dicts, ack = engine.result(ticket, tracer=tracer)
+        in_flight_anchors -= len(batch)
+        depth = stats.collected()
+        now = tracer.now()
+        if registry is not None:
+            registry.histogram("stream_queue_depth").observe(depth)
+            if ack is not None:
+                latency = now - base - ack.get("busy", 0.0)
+                registry.histogram("dispatch_latency_seconds").observe(
+                    max(0.0, latency)
+                )
+        if bus is not None and ack is not None:
+            bus.record_ack(ack, done_at=now)
+        committed_cells = 0
+        for slot, (anchor, extension) in enumerate(zip(batch, results)):
+            # Strict in-order replay: re-check absorption against the
+            # now-complete grid; drop absorbed results with their spans
+            # and counters so accounting matches the serial run exactly.
+            if state.grid.absorbs(anchor):
+                state.workload.absorbed_anchors += 1
+                continue
+            if traced and span_dicts is not None:
+                graft_span_dicts(tracer, [span_dicts[slot]], base=base)
+            committed_cells += extension.cells
+            _commit(
+                extension,
+                state.grid,
+                state.workload,
+                state.alignments,
+                state.seen_spans,
+                keep_tile_traces,
+            )
+        progress.advance(cells=committed_cells)
+        progress.set_in_flight(len(in_flight))
+
+    while True:
+        # Eager replay: commit every already-settled head batch before
+        # forming new speculation.  Costs nothing (poll never blocks),
+        # and keeps the coverage grid fresh so fewer dispatched anchors
+        # turn out absorbed at replay — the dominant waste term when
+        # cores are scarce.  Order is still strictly FIFO.
+        while in_flight and engine.poll(in_flight[0][2]):
+            _collect_one()
+        deferred = _try_dispatch()
+        saturated = in_flight_anchors >= limit
+        if produced < strand_count and (_starved() or saturated or deferred):
+            # The frontier is either starved (needs the next strand's
+            # anchors) or saturated (the producer can prefetch while
+            # workers chew) — run the producer, unless the bounded
+            # strand queue refuses: then drain one collection first.
+            if not strand_queue.full:
+                _produce_next()
+                continue
+            strand_queue.stalls += 1
+            stats.stalled()
+        if not in_flight:
+            if produced < strand_count:
+                continue  # a queue slot freed; produce on the next pass
+            break
+        if not _starved() and saturated:
+            # Watermark holds the frontier back while anchors are
+            # pending: producer throttling, counted as backpressure.
+            stats.stalled()
+        _collect_one()
+
+    stats.close()
+    if registry is not None:
+        registry.counter("stream_backpressure_stalls").inc(
+            stats.backpressure_stalls
+        )
+        registry.gauge("stream_occupancy").set(stats.occupancy())
+        registry.gauge("stream_idle_tail_seconds").set(
+            stats.idle_tail_seconds()
+        )
+        registry.gauge("stream_peak_in_flight").set(stats.peak_in_flight)
+    return states, stats
+
+
+def streamed_strand_align(
+    aligner,
+    target,
+    query,
+    index,
+    strands,
+    keep_tile_traces: bool = True,
+):
+    """Shared streamed ``align`` body for DarwinWGA and LastzAligner.
+
+    Runs every strand's seed+filter as a producer stage and the shared
+    extension frontier as the consumer, inside one ``extend`` span (the
+    later strands' producer spans nest under it — the overlap is real,
+    so the trace reflects it).  Returns ``(alignments, workload,
+    stats)`` with alignments in serial order (per-strand, pre-sort).
+    """
+    tracer = aligner.tracer
+    config = aligner.config
+
+    def produce(i: int) -> StrandStream:
+        strand = strands[i]
+        oriented = query if strand == 1 else query.reverse_complement()
+        with tracer.span("strand", strand="+" if strand == 1 else "-"):
+            ordered, workload, grid = aligner._seed_filter_strand(
+                target, oriented, index, strand
+            )
+        return StrandStream(oriented, ordered, grid, workload)
+
+    with tracer.span("extend") as extend_span:
+        states, stats = stream_extension(
+            target,
+            len(strands),
+            produce,
+            config.scoring,
+            config.extension,
+            aligner.engine,
+            tracer=tracer,
+            stream=getattr(aligner, "stream_params", None),
+            keep_tile_traces=keep_tile_traces,
+            resilience=aligner.resilience,
+        )
+        alignments: List[Alignment] = []
+        workload = None
+        for state in states:
+            alignments.extend(state.alignments)
+            if workload is None:
+                workload = state.workload
+            else:
+                workload.merge(state.workload)
+        extend_span.inc("extension_tiles", workload.extension_tiles)
+        extend_span.inc("extension_cells", workload.extension_cells)
+        extend_span.inc("absorbed_anchors", workload.absorbed_anchors)
+        extend_span.inc("alignments", len(alignments))
+        extend_span.set(
+            occupancy=round(stats.occupancy(), 6),
+            idle_tail_seconds=round(stats.idle_tail_seconds(), 6),
+            backpressure_stalls=stats.backpressure_stalls,
+            peak_in_flight=stats.peak_in_flight,
+        )
+    return alignments, workload, stats

@@ -30,6 +30,8 @@ from ..core.pipeline import (
     _make_engine,
     _resolve_cache,
 )
+from ..core.stream import StreamParams, streamed_strand_align
+from ..obs.occupancy import StreamStats
 from ..align.matrices import lastz_default
 from ..align.scoring import ScoringScheme
 from ..genome.sequence import Sequence
@@ -79,8 +81,13 @@ class LastzAligner:
         index_cache: Union[SeedIndexCache, str, Path, None] = None,
         resilience=None,
         telemetry=None,
+        streaming: Optional[bool] = None,
+        stream_params: Optional[StreamParams] = None,
     ) -> None:
         self.config = config or LastzConfig()
+        self.streaming = streaming
+        self.stream_params = stream_params
+        self.last_stream = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = engine.workers if engine is not None else workers
         if resilience is None and engine is not None:
@@ -154,20 +161,40 @@ class LastzAligner:
             if index is None:
                 index = self._build_index(target)
             strands = (1, -1) if config.both_strands else (1,)
-            alignments: List[Alignment] = []
-            workload = Workload()
-            for strand in strands:
-                oriented = (
-                    query if strand == 1 else query.reverse_complement()
+            engine = self.engine
+            parallel = engine is not None and engine.active
+            if parallel and self.streaming is not False:
+                # LASTZ runs never feed the hardware model, so tile
+                # traces are not accumulated (matching serial).
+                alignments, workload, stats = streamed_strand_align(
+                    self, target, query, index, strands,
+                    keep_tile_traces=False,
                 )
-                with tracer.span(
-                    "strand", strand="+" if strand == 1 else "-"
-                ):
-                    result = self._align_strand(
-                        target, oriented, index, strand
+                self.last_stream = stats.summary()
+            else:
+                observer = (
+                    StreamStats(slots=engine.workers) if parallel else None
+                )
+                alignments = []
+                workload = Workload()
+                for strand in strands:
+                    oriented = (
+                        query if strand == 1 else query.reverse_complement()
                     )
-                alignments.extend(result.alignments)
-                workload.merge(result.workload)
+                    with tracer.span(
+                        "strand", strand="+" if strand == 1 else "-"
+                    ):
+                        result = self._align_strand(
+                            target, oriented, index, strand,
+                            observer=observer,
+                        )
+                    alignments.extend(result.alignments)
+                    workload.merge(result.workload)
+                if observer is not None:
+                    observer.close()
+                self.last_stream = (
+                    observer.summary() if observer is not None else None
+                )
             alignments.sort(key=lambda a: -a.score)
             span.inc("seed_hits", workload.seed_hits)
             span.inc("filter_tiles", workload.filter_tiles)
@@ -179,13 +206,14 @@ class LastzAligner:
             span.inc("alignments", len(alignments))
             return WGAResult(alignments=alignments, workload=workload)
 
-    def _align_strand(
+    def _seed_filter_strand(
         self,
         target: Sequence,
         query: Sequence,
         index: SeedIndex,
         strand: int,
-    ) -> WGAResult:
+    ):
+        """One strand's producer stage: seed, filter, order anchors."""
         config = self.config
         tracer = self.tracer
         seeding = all_seed_hits(
@@ -210,10 +238,22 @@ class LastzAligner:
             filter_cells=filter_result.cells,
             anchors=len(filter_result.anchors),
         )
-
         grid = CoverageGrid(config.absorb_granularity)
         ordered = sorted(
             filter_result.anchors, key=lambda a: -a.filter_score
+        )
+        return ordered, workload, grid
+
+    def _align_strand(
+        self,
+        target: Sequence,
+        query: Sequence,
+        index: SeedIndex,
+        strand: int,
+        observer: Optional[StreamStats] = None,
+    ) -> WGAResult:
+        ordered, workload, grid = self._seed_filter_strand(
+            target, query, index, strand
         )
         # LASTZ runs never feed the hardware model, so tile traces are
         # not accumulated (matching the previous serial behaviour).
@@ -221,13 +261,14 @@ class LastzAligner:
             target,
             query,
             ordered,
-            config.scoring,
-            config.extension,
+            self.config.scoring,
+            self.config.extension,
             grid,
             workload,
-            tracer=tracer,
+            tracer=self.tracer,
             engine=self.engine,
             keep_tile_traces=False,
+            observer=observer,
         )
         return WGAResult(alignments=alignments, workload=workload)
 

@@ -61,6 +61,7 @@ from .bus import (
     current_publisher,
     install_publisher,
 )
+from .occupancy import StreamStats
 from .progress import NO_PROGRESS, NullProgress, ProgressRenderer
 from .resource import GcPauseTracker, ResourceSampler, sample_resources
 from .profiling import profile_capture
@@ -93,6 +94,7 @@ __all__ = [
     "TelemetryBus",
     "current_publisher",
     "install_publisher",
+    "StreamStats",
     "NO_PROGRESS",
     "NullProgress",
     "ProgressRenderer",

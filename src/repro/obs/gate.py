@@ -340,30 +340,64 @@ def compare_artifacts(
             )
     scaling = current.get("parallel_scaling")
     base_scaling = baseline.get("parallel_scaling")
-    if (
-        comparable_timings
-        and isinstance(scaling, dict)
-        and isinstance(base_scaling, dict)
-    ):
-        for workers, base_run in sorted(base_scaling.items()):
-            if not isinstance(base_run, dict):
-                continue
-            base_speedup = base_run.get("speedup")
-            cur_run = scaling.get(workers, {})
-            cur_speedup = cur_run.get("speedup")
-            if base_speedup is None or cur_speedup is None:
-                continue
-            floor = base_speedup * (1.0 - rate_tolerance)
+    if isinstance(scaling, dict):
+        if scaling.get("identical_output") is False:
             result.add(
-                f"parallel_scaling.{workers}.speedup",
-                "fail" if cur_speedup < floor else "pass",
-                current=cur_speedup, baseline=base_speedup, limit=floor,
-                detail=(
-                    f"speedup dropped beyond -{rate_tolerance:.0%}"
-                    if cur_speedup < floor
-                    else ""
-                ),
+                "parallel_scaling.identical_output", "fail",
+                current=False,
+                detail="streamed/barrier output diverged from serial",
             )
+        targets = scaling.get("targets", {})
+        at = str(targets.get("at_workers", "2"))
+        improvement = scaling.get("streaming_improvement", {}).get(at)
+        reduction = scaling.get("idle_tail_reduction", {}).get(at)
+        if comparable_timings and improvement is not None:
+            target = targets.get("streaming_improvement")
+            if target is not None:
+                result.add(
+                    f"parallel_scaling.streaming_improvement.{at}",
+                    "fail" if improvement < target else "pass",
+                    current=improvement, limit=target,
+                    detail=(
+                        "streamed schedule no longer beats the barrier "
+                        f"schedule by the {target}x target"
+                        if improvement < target
+                        else ""
+                    ),
+                )
+            if isinstance(base_scaling, dict):
+                base_improvement = base_scaling.get(
+                    "streaming_improvement", {}
+                ).get(at)
+                if base_improvement:
+                    floor = base_improvement * (1.0 - rate_tolerance)
+                    result.add(
+                        f"parallel_scaling.streaming_improvement.{at}"
+                        ".regression",
+                        "fail" if improvement < floor else "pass",
+                        current=improvement, baseline=base_improvement,
+                        limit=floor,
+                        detail=(
+                            "streaming improvement regressed beyond "
+                            f"-{rate_tolerance:.0%}"
+                            if improvement < floor
+                            else ""
+                        ),
+                    )
+        if comparable_timings and reduction is not None:
+            target = targets.get("idle_tail_reduction")
+            if target is not None:
+                result.add(
+                    f"parallel_scaling.idle_tail_reduction.{at}",
+                    "fail" if reduction < target else "pass",
+                    current=reduction, limit=target,
+                    detail=(
+                        "streamed schedule no longer removes "
+                        f"{target:.0%} of the barrier idle tail"
+                        if reduction < target
+                        else ""
+                    ),
+                )
     return result
 
 

@@ -1,0 +1,174 @@
+"""Worker-occupancy accounting for streamed stage graphs.
+
+The streaming dataflow (:mod:`repro.core.stream`) needs a clock to
+answer "how busy were the worker slots, and how long did they starve?"
+— and wall clocks are confined to :mod:`repro.obs` (DET003), so the
+tracker lives here and the coordinator only ever calls its methods.
+
+:class:`StreamStats` integrates ``min(in_flight, slots)`` — the number
+of worker slots that *could* have been busy — over the window from the
+first dispatch to the last collection, yielding:
+
+* ``occupancy``          — busy slot-seconds / (slots x window): the
+  fraction of worker capacity the schedule actually used;
+* ``idle_tail_seconds``  — idle slot-seconds *after the last dispatch*,
+  up to the schedule's :meth:`close`.  A barrier schedule pays the tail
+  every phase: the end-of-phase drain (depth ramps to zero while the
+  slowest unit finishes) plus any trailing serial stage that runs with
+  nothing in flight (e.g. the last strand's seed+filter).  A streamed
+  schedule keeps dispatching until the work is nearly over, so its
+  tail collapses.  Mid-stream dependence stalls deliberately taken by
+  the coordinator are *not* part of the tail — they show up in
+  ``occupancy`` instead;
+* ``peak_in_flight`` / ``backpressure_stalls`` — proof the bounded
+  queues actually held the producer back instead of buffering
+  unboundedly.
+
+Depth is counted in *dispatch units* — one task (an anchor batch or an
+assembly unit) occupies one worker slot, whatever its payload size — so
+``min(in_flight, slots)`` compares like with like against the worker
+count.
+
+The tracker is single-process and event-driven: every ``dispatched``/
+``collected``/``stalled`` call advances the integral to "now" first, so
+the math is exact for any interleaving.  Tests may inject a fake clock.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, Optional
+
+__all__ = ["StreamStats"]
+
+
+class StreamStats:
+    """Occupancy, idle-tail and backpressure accounting for one stream."""
+
+    def __init__(
+        self,
+        slots: int,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self.slots = max(1, int(slots))
+        self._clock = clock
+        self._last = clock()
+        self._depth = 0
+        self._busy_integral = 0.0
+        self._first_dispatch: Optional[float] = None
+        self._last_dispatch: Optional[float] = None
+        self._tail_busy_base = 0.0
+        self._last_collect: Optional[float] = None
+        self._closed: Optional[float] = None
+        self.peak_in_flight = 0
+        self.backpressure_stalls = 0
+        self.dispatched_tasks = 0
+        self.collected_tasks = 0
+        self.producer_steps = 0
+
+    def _advance(self) -> float:
+        now = self._clock()
+        delta = now - self._last
+        if delta > 0.0:
+            self._busy_integral += min(self._depth, self.slots) * delta
+            self._last = now
+        return now
+
+    def dispatched(self, tasks: int = 1) -> int:
+        """Record ``tasks`` units entering flight; returns the depth."""
+        now = self._advance()
+        if self._first_dispatch is None:
+            self._first_dispatch = now
+        self._last_dispatch = now
+        self._tail_busy_base = self._busy_integral
+        self._depth += tasks
+        self.dispatched_tasks += tasks
+        if self._depth > self.peak_in_flight:
+            self.peak_in_flight = self._depth
+        return self._depth
+
+    def collected(self, tasks: int = 1) -> int:
+        """Record ``tasks`` units leaving flight; returns the depth."""
+        self._last_collect = self._advance()
+        self._depth -= tasks
+        self.collected_tasks += tasks
+        return self._depth
+
+    def stalled(self) -> None:
+        """Record one backpressure event: the producer had work ready
+        but a bounded queue / in-flight watermark refused it."""
+        self._advance()
+        self.backpressure_stalls += 1
+
+    def produced(self) -> None:
+        """Record one producer step (a stage emitting a payload)."""
+        self._advance()
+        self.producer_steps += 1
+
+    def close(self) -> None:
+        """Pin the window's end at "now".
+
+        Called when the schedule being observed is *over* (the align
+        section ends), which may be well after the last collection: a
+        barrier schedule that runs a serial stage after its last drain
+        — e.g. the second strand's seed+filter finding zero anchors —
+        leaves the workers idle for all of it, and that idle time is
+        exactly the tail the streamed schedule overlaps away.  Without
+        the mark the window would end at the last collect and the tail
+        would be invisible.
+        """
+        self._closed = self._advance()
+
+    @property
+    def in_flight(self) -> int:
+        return self._depth
+
+    def _window_end(self) -> Optional[float]:
+        if self._closed is not None:
+            return self._closed
+        return self._last_collect
+
+    def idle_tail_seconds(self) -> float:
+        """Idle slot-seconds between the last dispatch and window end.
+
+        The schedule's drain tail: once nothing new is being
+        dispatched, every slot-second not spent finishing in-flight
+        work is capacity the schedule wasted at its end.
+        """
+        end = self._window_end()
+        if self._last_dispatch is None or end is None:
+            return 0.0
+        window = end - self._last_dispatch
+        if window <= 0.0:
+            return 0.0
+        tail_busy = self._busy_integral - self._tail_busy_base
+        return max(0.0, self.slots * window - tail_busy)
+
+    def occupancy(self) -> float:
+        """Busy fraction of worker capacity inside the dispatch window."""
+        end = self._window_end()
+        if self._first_dispatch is None or end is None:
+            return 0.0
+        window = end - self._first_dispatch
+        if window <= 0.0:
+            return 0.0
+        return min(1.0, self._busy_integral / (self.slots * window))
+
+    def summary(self) -> Dict[str, float]:
+        """Snapshot of every derived number (JSON-ready)."""
+        window = 0.0
+        end = self._window_end()
+        if self._first_dispatch is not None and end is not None:
+            window = max(0.0, end - self._first_dispatch)
+        return {
+            "slots": self.slots,
+            "window_seconds": window,
+            "busy_slot_seconds": self._busy_integral,
+            "occupancy": self.occupancy(),
+            "idle_tail_seconds": self.idle_tail_seconds(),
+            "peak_in_flight": self.peak_in_flight,
+            "backpressure_stalls": self.backpressure_stalls,
+            "dispatched_tasks": self.dispatched_tasks,
+            "collected_tasks": self.collected_tasks,
+            "producer_steps": self.producer_steps,
+        }

@@ -365,6 +365,16 @@ class ExecutionEngine:
             bus.poll()
         return value
 
+    def poll(self, ticket) -> bool:
+        """Whether ``ticket`` has settled, without blocking.
+
+        Advisory only: the streaming coordinator uses it for eager
+        in-order replay (drain finished results before dispatching new
+        speculation so commits see the freshest coverage grid).  All
+        recovery still happens inside :meth:`result`.
+        """
+        return self._dispatcher().poll(ticket)
+
     def _dispatcher(self):
         if self._dispatcher_obj is None:
             # Deferred sibling import: supervise pulls in resilience

@@ -86,10 +86,19 @@ class ResilientDispatcher:
 
     # -- submission --------------------------------------------------
     def submit(self, fn: Callable, /, *args, key: str = "") -> Ticket:
-        """Dispatch a task under supervision; returns its ticket."""
+        """Dispatch a task under supervision; returns its ticket.
+
+        A streamed caller interleaves submits with collections, so an
+        asynchronously-dying worker (e.g. an injected crash still in
+        flight) can break the pool *between* collections — the rebuild
+        ladder therefore also runs here, not only in :meth:`result`.
+        """
         ticket = Ticket(fn, args, key)
-        self._start(ticket)
         self._outstanding.append(ticket)
+        try:
+            self._start(ticket)
+        except BrokenProcessPool:
+            self._rebuild_and_redispatch()
         return ticket
 
     def _start(self, ticket: Ticket) -> None:
@@ -111,7 +120,39 @@ class ResilientDispatcher:
         else:
             ticket.future = self._engine.submit(ticket.fn, *ticket.args)
 
+    def _rebuild_and_redispatch(self) -> None:
+        """Fresh pool, every outstanding ticket re-dispatched.
+
+        Attempts are *not* incremented: no result was lost to a
+        deadline or error, the substrate died — exactly the result-path
+        ``broken_pool`` treatment, minus the per-ticket retry
+        accounting (that still happens in :meth:`result` when a ticket
+        actually observes the breakage).
+        """
+        self.options.stats.pool_rebuilds += 1
+        self._engine.rebuild()
+        for ticket in self._outstanding:
+            try:
+                self._start(ticket)
+            except BrokenProcessPool:
+                # A still-landing crash broke the fresh pool mid
+                # re-dispatch; start over with another rebuild.
+                return self._rebuild_and_redispatch()
+
     # -- collection --------------------------------------------------
+    def poll(self, ticket: Ticket) -> bool:
+        """Whether the ticket's current attempt has settled (no block).
+
+        Purely advisory, for eager in-order replay in the streaming
+        coordinator: True means :meth:`result` will not wait on the
+        healthy-path future.  Recovery still runs inside
+        :meth:`result` — a future settled with an exception polls True
+        and drives the retry/rebuild/fallback ladder there, and an
+        injected timeout may still make :meth:`result` retry.
+        """
+        future = ticket.future
+        return future is not None and future.done()
+
     def result(self, ticket: Ticket, tracer=NULL_TRACER):
         """Block for a ticket's result, driving the recovery ladder."""
         policy = self.options.policy

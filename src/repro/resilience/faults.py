@@ -18,7 +18,12 @@ Fault kinds:
 * ``timeout`` — the supervisor treats the batch's attempt as having
   exceeded its deadline without waiting for it;
 * ``corrupt`` — the seed-index cache flips a byte of a freshly stored
-  entry, exercising checksum quarantine-and-rebuild on the next load.
+  entry, exercising checksum quarantine-and-rebuild on the next load;
+* ``stall``   — the streaming coordinator sleeps before collecting a
+  unit, modelling a slow consumer so tests can prove the bounded
+  queues hold producers back (backpressure) without changing output.
+  Never part of :data:`DEFAULT_RATES`: stalls only slow a run down, so
+  they fire only when a spec names them explicitly.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ __all__ = [
 ]
 
 #: Every fault kind a plan may schedule.
-FAULT_KINDS = ("crash", "error", "timeout", "corrupt")
+FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "stall")
 
 #: Rates used when a spec names only a seed (``--inject-faults 7``).
 DEFAULT_RATES: Dict[str, float] = {

@@ -55,3 +55,115 @@ class TestNestedTask:
             select=PAR,
         )
         assert findings == []
+
+
+class TestUnboundedStageBuffer:
+    PAR3 = ["PAR003"]
+
+    def test_flags_bare_deque(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            def stage():
+                return deque()
+            """,
+            select=self.PAR3,
+        )
+        assert rules_of(findings) == ["PAR003"]
+
+    def test_flags_deque_with_maxlen_none(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            def stage(items):
+                return deque(items, maxlen=None)
+            """,
+            select=self.PAR3,
+        )
+        assert rules_of(findings) == ["PAR003"]
+
+    def test_deque_with_maxlen_passes(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            def stage(window):
+                return deque(maxlen=window)
+            """,
+            select=self.PAR3,
+        )
+        assert findings == []
+
+    def test_flags_queue_without_maxsize(self):
+        findings = lint_snippet(
+            """
+            import queue
+
+            def stage():
+                return queue.Queue()
+            """,
+            select=self.PAR3,
+        )
+        assert rules_of(findings) == ["PAR003"]
+
+    def test_flags_queue_with_zero_maxsize(self):
+        findings = lint_snippet(
+            """
+            import queue
+
+            def stage():
+                return queue.Queue(maxsize=0)
+            """,
+            select=self.PAR3,
+        )
+        assert rules_of(findings) == ["PAR003"]
+
+    def test_flags_simplequeue_always(self):
+        findings = lint_snippet(
+            """
+            import queue
+
+            def stage():
+                return queue.SimpleQueue()
+            """,
+            select=self.PAR3,
+        )
+        assert rules_of(findings) == ["PAR003"]
+
+    def test_bounded_queue_passes(self):
+        findings = lint_snippet(
+            """
+            import queue
+
+            def stage():
+                return queue.Queue(maxsize=8)
+            """,
+            select=self.PAR3,
+        )
+        assert findings == []
+
+    def test_variable_maxsize_taken_on_trust(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing
+
+            def stage(depth):
+                return multiprocessing.Queue(depth)
+            """,
+            select=self.PAR3,
+        )
+        assert findings == []
+
+    def test_suppression_with_reason_is_honoured(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            def stage():
+                return deque()  # repro: allow[PAR003] watermark-capped
+            """,
+            select=self.PAR3,
+        )
+        assert findings == []

@@ -40,6 +40,16 @@ def baseline_artifact():
             "dropped_events": 0,
             "identical_output": True,
         },
+        "parallel_scaling": {
+            "identical_output": True,
+            "streaming_improvement": {"2": 1.6, "4": 1.5},
+            "idle_tail_reduction": {"2": 0.8, "4": 0.7},
+            "targets": {
+                "streaming_improvement": 1.3,
+                "idle_tail_reduction": 0.5,
+                "at_workers": "2",
+            },
+        },
     }
 
 
@@ -119,6 +129,68 @@ class TestCompareArtifacts:
         result = compare_artifacts(current, baseline_artifact())
         assert result.verdict == "pass"  # warned, not failed
         assert result.counts()["warn"] >= 1
+
+    def test_streaming_output_divergence_fails(self):
+        current = baseline_artifact()
+        current["parallel_scaling"]["identical_output"] = False
+        result = compare_artifacts(current, baseline_artifact())
+        assert result.verdict == "fail"
+        assert any(
+            f["id"] == "parallel_scaling.identical_output"
+            for f in result.failures()
+        )
+
+    def test_streaming_improvement_below_target_fails(self):
+        current = baseline_artifact()
+        current["parallel_scaling"]["streaming_improvement"]["2"] = 1.1
+        result = compare_artifacts(current, baseline_artifact())
+        assert result.verdict == "fail"
+        assert any(
+            f["id"] == "parallel_scaling.streaming_improvement.2"
+            for f in result.failures()
+        )
+
+    def test_streaming_improvement_regression_vs_baseline_fails(self):
+        # Above the absolute target but far below the baseline: the
+        # relative regression floor must still catch it.
+        current = baseline_artifact()
+        base = baseline_artifact()
+        base["parallel_scaling"]["streaming_improvement"]["2"] = 3.0
+        current["parallel_scaling"]["streaming_improvement"]["2"] = 1.4
+        result = compare_artifacts(current, base)
+        assert result.verdict == "fail"
+        assert any(
+            f["id"]
+            == "parallel_scaling.streaming_improvement.2.regression"
+            for f in result.failures()
+        )
+
+    def test_idle_tail_reduction_below_target_fails(self):
+        current = baseline_artifact()
+        current["parallel_scaling"]["idle_tail_reduction"]["2"] = 0.2
+        result = compare_artifacts(current, baseline_artifact())
+        assert result.verdict == "fail"
+        assert any(
+            f["id"] == "parallel_scaling.idle_tail_reduction.2"
+            for f in result.failures()
+        )
+
+    def test_off_target_worker_counts_are_not_gated(self):
+        # Only the at_workers column is gated; w=4 numbers are
+        # informational.
+        current = baseline_artifact()
+        current["parallel_scaling"]["streaming_improvement"]["4"] = 0.9
+        current["parallel_scaling"]["idle_tail_reduction"]["4"] = 0.0
+        assert compare_artifacts(current, baseline_artifact()).verdict == (
+            "pass"
+        )
+
+    def test_scale_mismatch_skips_streaming_timing_checks(self):
+        current = baseline_artifact()
+        current["scale"] = 4
+        current["parallel_scaling"]["streaming_improvement"]["2"] = 0.5
+        result = compare_artifacts(current, baseline_artifact())
+        assert result.counts()["fail"] == 0
 
     def test_render_gate_mentions_failures_and_tally(self):
         current = baseline_artifact()
