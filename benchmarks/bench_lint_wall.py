@@ -1,0 +1,71 @@
+"""Wall-clock cost of ``repro lint``, with and without ``--flow``.
+
+The interprocedural pass (call graph + effect fixed point + dataflow
+rules) is the expensive half of the linter; this benchmark pins both
+numbers into ``BENCH_PIPELINE.json`` under a ``lint`` section so a
+later PR that regresses the analysis to quadratic behaviour shows up
+in the perf trajectory, not in CI feel.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+from .conftest import BENCH_PIPELINE_PATH
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Repetitions per timed path; the minimum is reported.
+REPEATS = 3
+
+
+def _record_lint(entry):
+    """Merge the lint timings into the aggregate artifact."""
+    try:
+        artifact = json.loads(BENCH_PIPELINE_PATH.read_text())
+    except (OSError, ValueError):
+        artifact = {"version": 1}
+    artifact["lint"] = entry
+    BENCH_PIPELINE_PATH.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True)
+    )
+
+
+def _timed(flow):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = analyze_paths([SRC], flow=flow)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_lint_wall_time_with_and_without_flow():
+    plain_seconds, plain = _timed(flow=False)
+    flow_seconds, flowed = _timed(flow=True)
+
+    # Both passes must be clean on the real tree (the self-clean gate
+    # re-checked under timing conditions).
+    assert plain.ok, [f.render() for f in plain.findings]
+    assert flowed.ok, [f.render() for f in flowed.findings]
+    assert flowed.flow_context is not None
+
+    graph = flowed.flow_context.graph
+    entry = {
+        "files": len(plain.files),
+        "functions": len(graph.functions),
+        "plain_seconds": round(plain_seconds, 4),
+        "flow_seconds": round(flow_seconds, 4),
+        "flow_overhead_seconds": round(
+            max(0.0, flow_seconds - plain_seconds), 4
+        ),
+        "repeats": REPEATS,
+    }
+    _record_lint(entry)
+
+    # Sanity envelope, not a tight gate: the whole tree (~120 files)
+    # must lint in interactive time even with the flow pass on.
+    assert flow_seconds < 60.0

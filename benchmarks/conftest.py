@@ -197,6 +197,7 @@ def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
         "parallel_scaling",
         "fault_overhead",
         "obs_overhead",
+        "lint",
     )
     for carried in carried_sections:
         if carried in previous:

@@ -1,0 +1,66 @@
+"""Baseline diff mode: report only findings *new* since a snapshot.
+
+``repro lint --baseline findings.json`` compares the current run
+against a previously captured report (the ``--format json`` output —
+the same file CI archives as an artifact) and demotes every finding
+already present there.  The exit status then gates only on *new*
+findings, which is how a rule can be introduced or tightened without
+first paying down every historical hit.
+
+Fingerprints are ``(rule, path, message)`` — deliberately **not** the
+line number, so unrelated edits above a finding do not resurrect it,
+while any change to what the rule actually reports does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .findings import Finding
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_fingerprints(path: Path) -> Set[Fingerprint]:
+    """Fingerprints of a saved ``--format json`` report.
+
+    Accepts either the full report object (``{"findings": [...]}``)
+    or a bare list of finding dicts.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    records = data["findings"] if isinstance(data, dict) else data
+    prints: Set[Fingerprint] = set()
+    for record in records:
+        prints.add(
+            (
+                str(record.get("rule", "")),
+                str(record.get("path", "")),
+                str(record.get("message", "")),
+            )
+        )
+    return prints
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: Set[Fingerprint]
+) -> Tuple[List[Finding], List[Finding]]:
+    """(new, already-baselined) partition of ``findings``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding) in baseline else new).append(finding)
+    return new, old
+
+
+def apply_baseline(result, path: Path) -> None:
+    """Demote baselined findings on an ``AnalysisResult`` in place."""
+    baseline = load_fingerprints(path)
+    new, old = split_by_baseline(result.findings, baseline)
+    result.findings = new
+    result.baselined = old

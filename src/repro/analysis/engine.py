@@ -55,6 +55,11 @@ class AnalysisResult:
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     files: List[str] = field(default_factory=list)
+    #: Findings present in a ``--baseline`` file (reported separately).
+    baselined: List[Finding] = field(default_factory=list)
+    #: The interprocedural context when the flow pass ran (``--flow`` /
+    #: ``--graph``); ``None`` for plain syntactic runs.
+    flow_context: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -135,9 +140,17 @@ def _selected(rules, select: Optional[Sequence[str]]):
 
 
 def analyze_modules(
-    modules: List[ModuleInfo], select: Optional[Sequence[str]] = None
+    modules: List[ModuleInfo],
+    select: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> AnalysisResult:
-    """Run every (selected) rule over already-parsed modules."""
+    """Run every (selected) rule over already-parsed modules.
+
+    With ``flow=True`` the interprocedural pass (call graph + effect
+    fixed point + FLOW001–FLOW003/KER006) runs as well; its findings
+    go through the same suppression filter, and the built
+    :class:`FlowContext` is kept on the result for graph export.
+    """
     result = AnalysisResult(files=[m.path for m in modules])
     raw: List[Finding] = []
     hard: List[Finding] = []  # never suppressible
@@ -164,6 +177,15 @@ def analyze_modules(
     for rule in _selected(PROJECT_RULES, select):
         raw.extend(rule.check(parsed))
 
+    if flow:
+        # Imported lazily: the flow layer is heavier than the syntactic
+        # rules and most invocations never need it.
+        from .flow import build_flow_context, run_flow_rules
+
+        context = build_flow_context(parsed)
+        result.flow_context = context
+        raw.extend(run_flow_rules(context, select=select))
+
     by_path: Dict[str, Suppressions] = {
         m.path: m.suppressions for m in modules
     }
@@ -182,16 +204,20 @@ def analyze_modules(
 
 
 def analyze_paths(
-    paths: Iterable[Path], select: Optional[Sequence[str]] = None
+    paths: Iterable[Path],
+    select: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> AnalysisResult:
     """Lint files and/or directory trees from disk."""
     files = collect_files(Path(p) for p in paths)
     modules = [load_module(path) for path in files]
-    return analyze_modules(modules, select=select)
+    return analyze_modules(modules, select=select, flow=flow)
 
 
 def analyze_sources(
-    sources: Dict[str, str], select: Optional[Sequence[str]] = None
+    sources: Dict[str, str],
+    select: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> AnalysisResult:
     """Lint in-memory sources keyed by module name (test fixtures).
 
@@ -202,4 +228,4 @@ def analyze_sources(
         make_module(source, modname, modname.replace(".", "/") + ".py")
         for modname, source in sources.items()
     ]
-    return analyze_modules(modules, select=select)
+    return analyze_modules(modules, select=select, flow=flow)

@@ -1,0 +1,427 @@
+"""Numpy dtype-lattice propagation through the DP kernels (KER006).
+
+KER001 sees the *allocation*: ``np.zeros(n, dtype=np.int16)`` in an
+alignment kernel is flagged syntactically.  What it cannot see is a
+wide value flowing into an already-allocated narrow slab — the silent
+downcasts numpy performs for ``out=`` arguments and slice stores::
+
+    acc = np.zeros(n, dtype=np.int64)
+    row = ws.array("row", (n,), np.int16)     # narrow storage
+    np.add(acc, scores, out=row)              # silently wraps
+    row[1:] = acc[:-1] + gap                  # silently wraps
+
+This pass tracks a per-function dtype environment and joins dtypes
+across expressions (the *lattice*: wider dtype wins a join; unknown
+absorbs).  A store whose source joins wider than its destination is a
+KER006 finding **when the destination's capacity is below the DP value
+bound derived from :class:`ScoringScheme`**: with the paper's Table IIa
+scheme the largest per-step magnitude is ``max(|W|, o + e) = 460``, so
+a DP value over a tile of length ``L`` can reach ``(2L + 4) * 460`` —
+about 3.8M for the 4096-base tiles the extension kernels see, far past
+``int16`` (32767), ``int8`` (127) and ``float16`` (2048 exact ints),
+while ``int32`` holds to ~2.3M-base tiles.
+
+Destinations whose dtype is *symbolic* — a ``dtype`` variable produced
+by :func:`repro.align._dp.kernel_dtype` or received as a parameter —
+are sanctioned: ``kernel_dtype`` exists precisely to prove the bound
+before narrowing, so the lattice treats its result as checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..astutil import import_aliases, resolve_origin
+
+#: Lattice rank by exact integer capacity; joins pick the max rank.
+#: (float ranks sit by exactly-representable integer range: float16
+#: holds ±2048 exactly, float32 ±2**24, float64 ±2**53.)
+_RANK = {
+    "bool": 0,
+    "int8": 1,
+    "uint8": 1,
+    "float16": 2,
+    "int16": 3,
+    "uint16": 3,
+    "float32": 4,
+    "int32": 5,
+    "uint32": 5,
+    "float64": 6,
+    "int64": 7,
+    "uint64": 7,
+    "intp": 7,
+}
+
+#: Exact value capacity per dtype (max representable DP magnitude).
+_CAPACITY = {
+    "bool": 1,
+    "int8": 2**7 - 1,
+    "uint8": 2**8 - 1,
+    "float16": 2**11,
+    "int16": 2**15 - 1,
+    "uint16": 2**16 - 1,
+    "float32": 2**24,
+    "int32": 2**31 - 1,
+    "uint32": 2**32 - 1,
+    "float64": 2**53,
+    "int64": 2**63 - 1,
+    "uint64": 2**64 - 1,
+}
+
+#: Largest per-step score magnitude under the default ScoringScheme
+#: (Table IIa): max(|matrix| = 100, gap_open + gap_extend = 460).
+SCORING_PEAK = 460
+
+#: Representative worst-case tile length for the extension kernels.
+MAX_TILE = 4096
+
+#: DP values can reach (2L + 4) * peak — same bound kernel_dtype uses.
+DP_VALUE_BOUND = (2 * MAX_TILE + 4) * SCORING_PEAK
+
+_ALLOCATORS = {
+    f"numpy.{name}"
+    for name in (
+        "array",
+        "asarray",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "ones",
+        "ones_like",
+        "zeros",
+        "zeros_like",
+        "arange",
+    )
+}
+
+#: Ufuncs whose ``out=`` stores the join of their array inputs.
+_UFUNCS = {
+    f"numpy.{name}"
+    for name in (
+        "add",
+        "subtract",
+        "multiply",
+        "maximum",
+        "minimum",
+        "abs",
+        "negative",
+        "copyto",
+        "left_shift",
+        "right_shift",
+        "bitwise_or",
+        "bitwise_and",
+        "bitwise_xor",
+        "equal",
+        "not_equal",
+        "greater",
+        "greater_equal",
+        "less",
+        "less_equal",
+    )
+}
+
+#: ``kernel_dtype``-style providers whose result is a *checked* dtype.
+_CHECKED_DTYPE_CALLS = ("kernel_dtype",)
+
+#: ``numpy.maximum.accumulate`` etc: attribute tail on a ufunc origin.
+_UFUNC_METHODS = {"accumulate", "reduce", "outer", "at"}
+
+
+@dataclass(frozen=True)
+class Dtype:
+    """A lattice element: a concrete dtype name, symbolic, or unknown."""
+
+    name: Optional[str] = None  # concrete ("int16") when set
+    symbolic: bool = False  # a checked/opaque dtype expression
+
+    @property
+    def rank(self) -> Optional[int]:
+        return _RANK.get(self.name) if self.name else None
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return _CAPACITY.get(self.name) if self.name else None
+
+
+UNKNOWN = Dtype()
+SYMBOLIC = Dtype(symbolic=True)
+
+
+def join(a: Dtype, b: Dtype) -> Dtype:
+    """Lattice join: wider concrete dtype wins; unknown/symbolic absorb."""
+    if a.symbolic or b.symbolic:
+        return SYMBOLIC
+    if a.name is None:
+        return b
+    if b.name is None:
+        return a
+    ra, rb = a.rank, b.rank
+    if ra is None or rb is None:
+        return UNKNOWN
+    return a if ra >= rb else b
+
+
+@dataclass(frozen=True)
+class Narrowing:
+    """One narrowing store: wide source into under-capacity storage."""
+
+    line: int
+    col: int
+    dest: str  # destination description ("out=row", "row[..]")
+    dest_dtype: str
+    source_dtype: str
+
+
+def _dtype_from_expr(node: ast.AST, aliases, env) -> Dtype:
+    """The dtype named by a dtype *expression* (not an array value)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+        return Dtype(name=name) if name in _RANK else UNKNOWN
+    origin = resolve_origin(node, aliases)
+    if origin and origin.startswith("numpy."):
+        name = origin[len("numpy."):]
+        if name in _RANK:
+            return Dtype(name=name)
+        return UNKNOWN
+    if isinstance(node, ast.Name):
+        known = env.get(node.id)
+        if known is not None:
+            return known
+        if node.id == "dtype":
+            return SYMBOLIC  # conventional checked-dtype parameter
+        if node.id in ("bool", "int", "float"):
+            return Dtype(name="int64" if node.id == "int" else "float64")
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _CHECKED_DTYPE_CALLS
+        ) or (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CHECKED_DTYPE_CALLS
+        ):
+            return SYMBOLIC
+        origin = resolve_origin(func, aliases)
+        if origin == "numpy.dtype" and node.args:
+            return _dtype_from_expr(node.args[0], aliases, env)
+    return UNKNOWN
+
+
+def _value_dtype(node: ast.AST, aliases, env) -> Dtype:
+    """The inferred dtype of an array-valued expression."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id, UNKNOWN)
+    if isinstance(node, ast.Subscript):
+        return _value_dtype(node.value, aliases, env)
+    if isinstance(node, ast.BinOp):
+        return join(
+            _value_dtype(node.left, aliases, env),
+            _value_dtype(node.right, aliases, env),
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _value_dtype(node.operand, aliases, env)
+    if isinstance(node, ast.Constant):
+        return UNKNOWN  # python scalars never widen a store
+    if isinstance(node, ast.Call):
+        return _call_dtype(node, aliases, env)
+    if isinstance(node, ast.Attribute):
+        if node.attr == "matrix64":
+            return Dtype(name="int64")  # ScoringScheme contract
+        if node.attr == "T":
+            return _value_dtype(node.value, aliases, env)
+    if isinstance(node, ast.IfExp):
+        return join(
+            _value_dtype(node.body, aliases, env),
+            _value_dtype(node.orelse, aliases, env),
+        )
+    return UNKNOWN
+
+
+def _dtype_kwarg(call: ast.Call) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    return None
+
+
+def _call_dtype(node: ast.Call, aliases, env) -> Dtype:
+    func = node.func
+    origin = resolve_origin(func, aliases)
+    if origin in _ALLOCATORS:
+        dtype_expr = _dtype_kwarg(node)
+        if dtype_expr is not None:
+            return _dtype_from_expr(dtype_expr, aliases, env)
+        if origin in ("numpy.asarray", "numpy.array") and node.args:
+            return _value_dtype(node.args[0], aliases, env)
+        return Dtype(name="float64")  # numpy allocator default
+    if isinstance(func, ast.Attribute):
+        if func.attr == "astype" and node.args:
+            return _dtype_from_expr(node.args[0], aliases, env)
+        if func.attr == "view" and node.args:
+            return _dtype_from_expr(node.args[0], aliases, env)
+        if func.attr == "array" and len(node.args) >= 3:
+            # KernelWorkspace.array(name, shape, dtype)
+            return _dtype_from_expr(node.args[2], aliases, env)
+        if func.attr in _UFUNC_METHODS:
+            inputs = Dtype()
+            for arg in node.args:
+                inputs = join(inputs, _value_dtype(arg, aliases, env))
+            return inputs
+    if origin in _UFUNCS:
+        inputs = Dtype()
+        for arg in node.args:
+            inputs = join(inputs, _value_dtype(arg, aliases, env))
+        return inputs
+    if isinstance(func, ast.Name) and func.id in _CHECKED_DTYPE_CALLS:
+        return SYMBOLIC
+    if origin is not None and origin.endswith("matrix_for") and len(
+        node.args
+    ) >= 2:
+        return _dtype_from_expr(node.args[1], aliases, env)
+    return UNKNOWN
+
+
+def _is_narrowing(dest: Dtype, source: Dtype) -> bool:
+    """A store is flagged when the destination provably cannot hold the
+    ScoringScheme-derived DP value range while the source can."""
+    if dest.symbolic or source.symbolic:
+        return False
+    if dest.name is None or source.name is None:
+        return False
+    dest_cap = dest.capacity
+    src_rank, dst_rank = source.rank, dest.rank
+    if dest_cap is None or src_rank is None or dst_rank is None:
+        return False
+    return src_rank > dst_rank and dest_cap < DP_VALUE_BOUND
+
+
+def _scan_statements(stmts, aliases, env, narrowings) -> None:
+    for stmt in stmts:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(stmt, ast.Assign):
+            value_dtype = _value_dtype(stmt.value, aliases, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = value_dtype
+                elif isinstance(target, ast.Subscript):
+                    dest = _value_dtype(target.value, aliases, env)
+                    if _is_narrowing(dest, value_dtype):
+                        narrowings.append(
+                            Narrowing(
+                                line=stmt.lineno,
+                                col=stmt.col_offset,
+                                dest=_describe(target),
+                                dest_dtype=dest.name or "?",
+                                source_dtype=value_dtype.name or "?",
+                            )
+                        )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = _value_dtype(
+                    stmt.value, aliases, env
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Subscript):
+                dest = _value_dtype(stmt.target.value, aliases, env)
+                value_dtype = _value_dtype(stmt.value, aliases, env)
+                if _is_narrowing(dest, value_dtype):
+                    narrowings.append(
+                        Narrowing(
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            dest=_describe(stmt.target),
+                            dest_dtype=dest.name or "?",
+                            source_dtype=value_dtype.name or "?",
+                        )
+                    )
+        elif isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Call
+        ):
+            _check_out_kwarg(stmt.value, aliases, env, narrowings)
+        # Recurse into compound statements in source order.
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                _scan_statements(inner, aliases, env, narrowings)
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                _scan_statements(handler.body, aliases, env, narrowings)
+        items = getattr(stmt, "items", None)
+        if items:  # with-statement context expressions may bind names
+            for item in items:
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    env[item.optional_vars.id] = _value_dtype(
+                        item.context_expr, aliases, env
+                    )
+
+
+def _check_out_kwarg(call: ast.Call, aliases, env, narrowings) -> None:
+    origin = resolve_origin(call.func, aliases)
+    is_ufunc = origin in _UFUNCS or (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _UFUNC_METHODS
+    )
+    if not is_ufunc:
+        return
+    out_expr: Optional[ast.AST] = None
+    for keyword in call.keywords:
+        if keyword.arg == "out":
+            out_expr = keyword.value
+    if out_expr is None:
+        return
+    dest = _value_dtype(out_expr, aliases, env)
+    inputs = Dtype()
+    for arg in call.args:
+        inputs = join(inputs, _value_dtype(arg, aliases, env))
+    if _is_narrowing(dest, inputs):
+        narrowings.append(
+            Narrowing(
+                line=call.lineno,
+                col=call.col_offset,
+                dest=f"out={_describe(out_expr)}",
+                dest_dtype=dest.name or "?",
+                source_dtype=inputs.name or "?",
+            )
+        )
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return f"{_describe(node.value)}[..]"
+    if isinstance(node, ast.Attribute):
+        return f"{_describe(node.value)}.{node.attr}"
+    return "<expr>"
+
+
+def analyze_function_dtypes(
+    node, aliases
+) -> List[Narrowing]:
+    """Narrowing stores found in one function definition."""
+    narrowings: List[Narrowing] = []
+    env: Dict[str, Dtype] = {}
+    # Parameters annotated as arrays stay unknown; a parameter named
+    # ``dtype`` is the checked-dtype convention.
+    _scan_statements(node.body, aliases, env, narrowings)
+    return narrowings
+
+
+def module_narrowings(module) -> Iterator[Tuple[ast.AST, Narrowing]]:
+    """Every narrowing store in a module's functions (and module body)."""
+    if module.tree is None:
+        return
+    aliases = import_aliases(module.tree, module.modname)
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for narrowing in analyze_function_dtypes(node, aliases):
+                yield node, narrowing

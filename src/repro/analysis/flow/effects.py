@@ -1,0 +1,483 @@
+"""Fixed-point transitive effect inference over the call graph.
+
+Every function is classified by the *effects* its body can reach,
+directly or through any resolved call chain:
+
+========== =========================================================
+kind       intrinsic sources
+========== =========================================================
+rng        unseeded RNG construction, calls into process-global RNG
+           state (the interprocedural face of DET001/DET002)
+clock      wall-clock/timer reads (DET003)
+stdout     ``print`` / ``sys.stdout`` / ``sys.stderr`` writes (OBS002
+           / KER005)
+fs-write   file creation/mutation: ``open`` in a writing mode,
+           ``os``/``shutil`` mutators, ``Path.write_text``-style calls
+global-mut assignment through a ``global`` declaration, mutation of a
+           module-level name or class attribute
+env        any ``os.environ`` / ``getenv`` / ``putenv`` use
+========== =========================================================
+
+Inference runs to a fixed point, so recursion and mutual recursion
+converge: ``effect(f) = intrinsic(f) ∪ ⋃ effect(callee)``.  Each
+propagated effect keeps a provenance pointer (which call introduced
+it), so a finding can print the full chain down to the intrinsic site.
+
+Sanctioned effects do not propagate.  An intrinsic site is sanctioned
+when the architecture assigns that effect to that layer (clocks and
+terminal output inside :mod:`repro.obs` — the tracer owns time, the
+progress renderer owns the status line; stdout inside ``repro.cli``),
+or when the site's line carries a ``# repro: allow[...]`` suppression
+for the matching syntactic rule — a reasoned local suppression must
+not re-fire interprocedurally at every transitive caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..astutil import import_aliases, resolve_origin
+from ..rules.determinism import (
+    _NUMPY_EXPLICIT,
+    _STDLIB_GLOBAL,
+    _WALL_CLOCKS,
+)
+from .callgraph import CallGraph, FunctionNode
+
+#: Stable ordering of effect kinds for reports.
+EFFECT_KINDS = (
+    "rng",
+    "clock",
+    "stdout",
+    "fs-write",
+    "global-mut",
+    "env",
+)
+
+#: Syntactic rule whose line-suppression also sanctions the effect.
+BASE_RULES: Dict[str, Tuple[str, ...]] = {
+    "rng": ("DET001", "DET002"),
+    "clock": ("DET003",),
+    "stdout": ("OBS002", "KER005"),
+    "fs-write": (),
+    "global-mut": (),
+    "env": (),
+}
+
+_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+_FS_EXTERNAL = {
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.mkdir",
+    "os.makedirs",
+    "os.rmdir",
+    "os.removedirs",
+    "os.chmod",
+    "os.truncate",
+    "os.symlink",
+    "os.link",
+    "shutil.rmtree",
+    "shutil.copy",
+    "shutil.copy2",
+    "shutil.copyfile",
+    "shutil.copytree",
+    "shutil.move",
+}
+
+#: Attribute method names that mutate the filesystem on any plausible
+#: receiver (pathlib.Path and file-handle idioms).
+_FS_METHODS = {
+    "write_text",
+    "write_bytes",
+    "unlink",
+    "rmdir",
+    "touch",
+    "rename",
+    "replace",
+    "symlink_to",
+    "hardlink_to",
+}
+
+_ENV_EXTERNAL = {"os.getenv", "os.putenv", "os.unsetenv"}
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """Where an effect enters a function (its intrinsic source)."""
+
+    kind: str
+    path: str
+    line: int
+    detail: str
+    sanctioned: bool = False
+
+
+@dataclass
+class Provenance:
+    """How a function acquired an effect: intrinsic site or a call."""
+
+    site: Optional[EffectSite] = None  # intrinsic
+    callee: Optional[str] = None  # propagated through this callee
+    call_line: int = 0
+
+
+@dataclass
+class EffectAnalysis:
+    """Per-function transitive effects with provenance."""
+
+    graph: CallGraph
+    #: qualname -> kind -> provenance of the first discovery.
+    effects: Dict[str, Dict[str, Provenance]] = field(default_factory=dict)
+    #: qualname -> sanctioned intrinsic sites (report-only).
+    sanctioned: Dict[str, List[EffectSite]] = field(default_factory=dict)
+
+    def effect_kinds(self, qualname: str) -> Tuple[str, ...]:
+        found = self.effects.get(qualname, {})
+        return tuple(k for k in EFFECT_KINDS if k in found)
+
+    def chain(self, qualname: str, kind: str) -> List[Provenance]:
+        """Provenance hops from ``qualname`` down to the intrinsic site."""
+        hops: List[Provenance] = []
+        current = qualname
+        seen: Set[str] = set()
+        while current not in seen:
+            seen.add(current)
+            provenance = self.effects.get(current, {}).get(kind)
+            if provenance is None:
+                break
+            hops.append(provenance)
+            if provenance.site is not None:
+                break
+            current = provenance.callee or ""
+        return hops
+
+    def describe_chain(self, qualname: str, kind: str) -> str:
+        """Human-readable ``a -> b -> site`` rendering of a chain."""
+        hops = self.chain(qualname, kind)
+        parts: List[str] = [qualname]
+        for hop in hops:
+            if hop.site is not None:
+                parts.append(hop.site.detail)
+            elif hop.callee:
+                parts.append(hop.callee)
+        return " -> ".join(parts)
+
+
+def _own_nodes(function: FunctionNode) -> Iterator[ast.AST]:
+    """Every AST node of a function body, excluding nested scopes."""
+    node = function.node
+    if isinstance(node, ast.Lambda):
+        roots: List[ast.AST] = [node.body]
+    else:
+        roots = list(node.body)
+    stack = roots
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _call_effect(
+    origin: str, call: ast.Call
+) -> Optional[Tuple[str, str]]:
+    """(kind, detail) of a resolved external call, or None."""
+    if origin in _WALL_CLOCKS:
+        return "clock", f"{origin}()"
+    if origin in _RNG_CONSTRUCTORS:
+        if not call.args and not call.keywords:
+            return "rng", f"{origin}() [unseeded]"
+        return None
+    if origin.startswith("numpy.random."):
+        tail = origin[len("numpy.random."):]
+        if "." not in tail and tail not in _NUMPY_EXPLICIT:
+            return "rng", f"{origin}() [global state]"
+    if origin.startswith("random."):
+        tail = origin[len("random."):]
+        if tail in _STDLIB_GLOBAL:
+            return "rng", f"{origin}() [global state]"
+    if origin in _FS_EXTERNAL:
+        return "fs-write", f"{origin}()"
+    if origin in _ENV_EXTERNAL or origin.startswith("os.environ"):
+        return "env", f"{origin}()"
+    if origin in ("sys.stdout.write", "sys.stdout.writelines"):
+        return "stdout", f"{origin}()"
+    if origin in ("sys.stderr.write", "sys.stderr.writelines"):
+        return "stdout", f"{origin}()"
+    return None
+
+
+def _open_writes(call: ast.Call) -> bool:
+    """Whether an ``open(...)`` call uses a writing mode."""
+    mode: Optional[ast.AST] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in mode.value for c in "wax+")
+    return True  # dynamic mode: assume the worst
+
+
+def _print_targets_stdio(call: ast.Call, aliases) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "file":
+            origin = resolve_origin(keyword.value, aliases)
+            return origin in ("sys.stdout", "sys.stderr")
+    return True
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(stmt.name)
+        elif isinstance(stmt, (ast.Assign,)):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            names.add(stmt.target.id)
+    return names
+
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "appendleft",
+    "extendleft",
+    "sort",
+    "reverse",
+}
+
+
+def intrinsic_effects(
+    function: FunctionNode, module, aliases
+) -> List[EffectSite]:
+    """Effects introduced directly by one function's own body."""
+    sites: List[EffectSite] = []
+    module_names = (
+        _module_level_names(module.tree) if module.tree is not None else set()
+    )
+    global_names: Set[str] = set()
+    path = function.path
+
+    def add(kind: str, line: int, detail: str) -> None:
+        sites.append(EffectSite(kind=kind, path=path, line=line, detail=detail))
+
+    # Call-borne effects through the resolved external origins.
+    for site in function.calls:
+        if site.external:
+            effect = _call_effect(site.external, site.node)
+            if effect is not None:
+                add(effect[0], site.line, effect[1])
+    for node in _own_nodes(function):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+    for node in _own_nodes(function):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "print" and _print_targets_stdio(node, aliases):
+                    add("stdout", node.lineno, "print()")
+                elif func.id == "open" and _open_writes(node):
+                    add("fs-write", node.lineno, "open(.., write mode)")
+            elif isinstance(func, ast.Attribute):
+                if func.attr in _FS_METHODS:
+                    add(
+                        "fs-write",
+                        node.lineno,
+                        f".{func.attr}()",
+                    )
+                elif (
+                    func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in module_names
+                ):
+                    add(
+                        "global-mut",
+                        node.lineno,
+                        f"{func.value.id}.{func.attr}()"
+                        " [module-level state]",
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            for target in (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            ):
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in global_names
+                ):
+                    add(
+                        "global-mut",
+                        node.lineno,
+                        f"global {target.id} = ..",
+                    )
+                elif isinstance(target, ast.Subscript):
+                    origin = resolve_origin(target.value, aliases)
+                    if origin == "os.environ":
+                        add("env", node.lineno, "os.environ[..] = ..")
+                        continue
+                    base = target.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                        and base.id not in _locals_of(function)
+                    ):
+                        add(
+                            "global-mut",
+                            node.lineno,
+                            f"{base.id}[..] = .. [module-level state]",
+                        )
+                elif isinstance(target, ast.Attribute):
+                    base = target.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                        and base.id not in _locals_of(function)
+                    ):
+                        add(
+                            "global-mut",
+                            node.lineno,
+                            f"{base.id}.{target.attr} = .."
+                            " [module/class attribute]",
+                        )
+        elif isinstance(node, ast.Subscript):
+            origin = resolve_origin(node.value, aliases)
+            if origin == "os.environ" and isinstance(
+                node.ctx, (ast.Load,)
+            ):
+                add("env", node.lineno, "os.environ[..]")
+    return sites
+
+
+def _locals_of(function: FunctionNode) -> Set[str]:
+    """Parameter + locally-assigned names (shadow module-level names)."""
+    cached = getattr(function, "_locals_cache", None)
+    if cached is not None:
+        return cached
+    names: Set[str] = set(function.params)
+    for node in _own_nodes(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    function._locals_cache = names  # type: ignore[attr-defined]
+    return names
+
+
+#: Layers whose effects are theirs to have: the architecture routes
+#: that concern through them, so reaching the effect *via that layer*
+#: is the sanctioned path, not a leak.
+_SANCTIONED_LAYERS: Dict[str, Tuple[str, ...]] = {
+    "repro.obs": ("clock", "stdout", "fs-write"),
+    "repro.cli": ("stdout", "fs-write"),
+    "repro.analysis": ("stdout",),
+}
+
+
+def _is_sanctioned(
+    function: FunctionNode, site: EffectSite, suppressions
+) -> bool:
+    for prefix, kinds in _SANCTIONED_LAYERS.items():
+        if function.modname == prefix or function.modname.startswith(
+            prefix + "."
+        ):
+            if site.kind in kinds:
+                return True
+    if suppressions is not None:
+        for rule in BASE_RULES.get(site.kind, ()):
+            if suppressions.is_suppressed(rule, site.line):
+                return True
+        # A FLOW001 allow at the intrinsic site sanctions the whole
+        # chain: one reasoned comment, not one per transitive caller.
+        if suppressions.is_suppressed("FLOW001", site.line):
+            return True
+    return False
+
+
+def infer_effects(graph: CallGraph, modules) -> EffectAnalysis:
+    """Run the fixed-point effect inference over a resolved call graph."""
+    analysis = EffectAnalysis(graph=graph)
+    by_modname = {m.modname: m for m in modules}
+    alias_cache: Dict[str, Dict[str, str]] = {}
+
+    for qualname, function in graph.functions.items():
+        module = by_modname.get(function.modname)
+        if module is None or module.tree is None:
+            continue
+        aliases = alias_cache.get(function.modname)
+        if aliases is None:
+            aliases = import_aliases(module.tree, function.modname)
+            alias_cache[function.modname] = aliases
+        for site in intrinsic_effects(function, module, aliases):
+            if _is_sanctioned(function, site, module.suppressions):
+                analysis.sanctioned.setdefault(qualname, []).append(
+                    EffectSite(
+                        kind=site.kind,
+                        path=site.path,
+                        line=site.line,
+                        detail=site.detail,
+                        sanctioned=True,
+                    )
+                )
+                continue
+            bucket = analysis.effects.setdefault(qualname, {})
+            bucket.setdefault(site.kind, Provenance(site=site))
+
+    # Fixed point: propagate callee effects to callers until stable.
+    callers = graph.callers()
+    pending = list(analysis.effects)
+    while pending:
+        current = pending.pop()
+        kinds = analysis.effects.get(current, {})
+        for caller, call_site in callers.get(current, ()):
+            bucket = analysis.effects.setdefault(caller, {})
+            changed = False
+            for kind in kinds:
+                if kind not in bucket:
+                    bucket[kind] = Provenance(
+                        callee=current, call_line=call_site.line
+                    )
+                    changed = True
+            if changed:
+                pending.append(caller)
+    return analysis

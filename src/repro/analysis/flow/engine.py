@@ -1,0 +1,125 @@
+"""Flow-analysis context: one build, shared by rules and exports.
+
+The call graph and the effect fixed point are each O(project), so the
+CLI builds them once into a :class:`FlowContext` and hands that to the
+rules (``--flow``) and/or the graph export (``--graph out.json`` /
+``--graph out.dot``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .callgraph import CallGraph, build_call_graph
+from .effects import EffectAnalysis, infer_effects
+
+
+@dataclass
+class FlowContext:
+    """Everything the interprocedural rules need, built once."""
+
+    modules: List = field(default_factory=list)
+    graph: CallGraph = field(default_factory=CallGraph)
+    effects: EffectAnalysis = None  # type: ignore[assignment]
+
+
+def build_flow_context(modules) -> FlowContext:
+    """Parse nothing (modules are already parsed); resolve and infer."""
+    parsed = [m for m in modules if m.tree is not None]
+    graph = build_call_graph(parsed)
+    effects = infer_effects(graph, parsed)
+    return FlowContext(modules=parsed, graph=graph, effects=effects)
+
+
+def graph_to_dict(context: FlowContext) -> Dict:
+    """JSON-ready call graph + per-function effect classification."""
+    functions = []
+    for qualname in sorted(context.graph.functions):
+        node = context.graph.functions[qualname]
+        calls = []
+        externals = []
+        for site in node.calls:
+            for target in site.targets:
+                calls.append({"target": target, "line": site.line})
+            if site.external:
+                externals.append(
+                    {"origin": site.external, "line": site.line}
+                )
+        effects = {}
+        for kind in context.effects.effect_kinds(qualname):
+            effects[kind] = context.effects.describe_chain(qualname, kind)
+        sanctioned = [
+            {"kind": site.kind, "line": site.line, "detail": site.detail}
+            for site in context.effects.sanctioned.get(qualname, ())
+        ]
+        functions.append(
+            {
+                "qualname": qualname,
+                "path": node.path,
+                "line": node.line,
+                "calls": calls,
+                "external_calls": externals,
+                "effects": effects,
+                "sanctioned_effects": sanctioned,
+            }
+        )
+    return {
+        "version": 1,
+        "functions": functions,
+        "counts": {
+            "functions": len(functions),
+            "edges": sum(len(f["calls"]) for f in functions),
+            "with_effects": sum(1 for f in functions if f["effects"]),
+        },
+    }
+
+
+#: Graphviz fill colours per (worst) effect kind present on a node.
+_DOT_COLOURS = {
+    "rng": "#f4cccc",
+    "clock": "#fce5cd",
+    "stdout": "#fff2cc",
+    "fs-write": "#d9ead3",
+    "global-mut": "#d0e0e3",
+    "env": "#d9d2e9",
+}
+
+
+def _dot_identifier(qualname: str) -> str:
+    return '"' + qualname.replace('"', "'") + '"'
+
+
+def graph_to_dot(context: FlowContext) -> str:
+    """Graphviz rendering: nodes coloured by their first effect kind."""
+    lines = [
+        "digraph callgraph {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=9, fontname="monospace"];',
+    ]
+    for qualname in sorted(context.graph.functions):
+        kinds = context.effects.effect_kinds(qualname)
+        attrs = ""
+        if kinds:
+            colour = _DOT_COLOURS.get(kinds[0], "#eeeeee")
+            label = qualname + "\\n[" + ",".join(kinds) + "]"
+            attrs = (
+                f' [style=filled, fillcolor="{colour}",'
+                f' label="{label}"]'
+            )
+        lines.append(f"  {_dot_identifier(qualname)}{attrs};")
+    seen = set()
+    for qualname in sorted(context.graph.functions):
+        node = context.graph.functions[qualname]
+        for site in node.calls:
+            for target in site.targets:
+                edge = (qualname, target)
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                lines.append(
+                    f"  {_dot_identifier(qualname)} -> "
+                    f"{_dot_identifier(target)};"
+                )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

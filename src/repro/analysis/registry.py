@@ -36,6 +36,22 @@ ENGINE_RULES: Dict[str, str] = {
     "SUP002": "suppression comment with unknown/missing rule ids",
 }
 
+#: Ids contributed by the interprocedural layer (``repro lint --flow``).
+#: They are always *known* (suppression comments naming them are valid
+#: even in a plain run) but only fire when the flow pass is enabled.
+FLOW_RULES: Dict[str, str] = {
+    "FLOW001": (
+        "nondeterministic effect reachable from worker task code"
+    ),
+    "FLOW002": "argument object mutated after pool submission",
+    "FLOW003": (
+        "unpicklable value reaches a pool submit through a call chain"
+    ),
+    "KER006": (
+        "dtype-lattice narrowing can overflow the packed DP dtype"
+    ),
+}
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -86,4 +102,8 @@ def all_rules() -> List[Rule]:
 
 
 def known_rule_ids() -> List[str]:
-    return [rule.id for rule in all_rules()] + sorted(ENGINE_RULES)
+    return (
+        [rule.id for rule in all_rules()]
+        + sorted(ENGINE_RULES)
+        + sorted(FLOW_RULES)
+    )

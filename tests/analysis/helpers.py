@@ -21,13 +21,30 @@ def lint_snippet(
 
 
 def lint_tree(
-    sources: Dict[str, str], select: Optional[Sequence[str]] = None
+    sources: Dict[str, str],
+    select: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Finding]:
     """Lint a virtual multi-module tree (for the project rules)."""
     return analyze_sources(
         {name: textwrap.dedent(src) for name, src in sources.items()},
         select=select,
+        flow=flow,
     ).findings
+
+
+def flow_context(sources: Dict[str, str]):
+    """Build a FlowContext over a dedented virtual tree."""
+    from repro.analysis import build_flow_context
+    from repro.analysis.engine import make_module
+
+    modules = [
+        make_module(
+            textwrap.dedent(src), name, name.replace(".", "/") + ".py"
+        )
+        for name, src in sources.items()
+    ]
+    return build_flow_context(modules)
 
 
 def rules_of(findings: List[Finding]) -> List[str]:

@@ -1,0 +1,106 @@
+"""--baseline diff mode: only findings new since a snapshot gate."""
+
+import json
+import textwrap
+
+from repro.analysis import analyze_sources, render_json
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_fingerprints,
+    split_by_baseline,
+)
+
+_DIRTY = {
+    "repro.seed.legacy": textwrap.dedent(
+        """
+        import random
+
+        def roll():
+            return random.random()
+        """
+    ),
+}
+
+
+def _result():
+    return analyze_sources(dict(_DIRTY))
+
+
+def test_fingerprint_ignores_line_numbers():
+    result = _result()
+    finding = result.findings[0]
+    assert fingerprint(finding) == (
+        finding.rule,
+        finding.path,
+        finding.message,
+    )
+
+
+def test_round_trip_through_json_report(tmp_path):
+    result = _result()
+    assert result.findings, "fixture must produce findings"
+    baseline_file = tmp_path / "findings.json"
+    baseline_file.write_text(render_json(result), encoding="utf-8")
+    prints = load_fingerprints(baseline_file)
+    new, old = split_by_baseline(result.findings, prints)
+    assert new == []
+    assert old == result.findings
+
+
+def test_apply_baseline_demotes_known_findings(tmp_path):
+    result = _result()
+    baseline_file = tmp_path / "findings.json"
+    baseline_file.write_text(render_json(result), encoding="utf-8")
+
+    fresh = _result()
+    apply_baseline(fresh, baseline_file)
+    assert fresh.findings == []
+    assert fresh.ok
+    assert len(fresh.baselined) == len(result.findings)
+
+
+def test_new_findings_survive_the_baseline(tmp_path):
+    result = _result()
+    baseline_file = tmp_path / "findings.json"
+    baseline_file.write_text(render_json(result), encoding="utf-8")
+
+    grown = dict(_DIRTY)
+    grown["repro.seed.fresh"] = textwrap.dedent(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    current = analyze_sources(grown)
+    apply_baseline(current, baseline_file)
+    assert current.findings, "the new finding must still gate"
+    assert all(
+        f.path == "repro/seed/fresh.py" for f in current.findings
+    )
+    assert current.baselined, "the old finding is demoted, not lost"
+
+
+def test_bare_list_baseline_is_accepted(tmp_path):
+    result = _result()
+    baseline_file = tmp_path / "bare.json"
+    baseline_file.write_text(
+        json.dumps([f.to_dict() for f in result.findings]),
+        encoding="utf-8",
+    )
+    fresh = _result()
+    apply_baseline(fresh, baseline_file)
+    assert fresh.findings == []
+
+
+def test_baselined_counts_surface_in_reports(tmp_path):
+    result = _result()
+    baseline_file = tmp_path / "findings.json"
+    baseline_file.write_text(render_json(result), encoding="utf-8")
+    fresh = _result()
+    apply_baseline(fresh, baseline_file)
+    payload = json.loads(render_json(fresh))
+    assert payload["ok"] is True
+    assert len(payload["baselined"]) == len(result.findings)

@@ -1,0 +1,156 @@
+"""KER006 dtype-lattice: join behaviour and narrowing detection."""
+
+from .helpers import lint_tree, rules_of
+
+from repro.analysis.flow.dtypeflow import (
+    DP_VALUE_BOUND,
+    SYMBOLIC,
+    UNKNOWN,
+    Dtype,
+    join,
+)
+
+# ---------------------------------------------------------------------------
+# The lattice itself.
+# ---------------------------------------------------------------------------
+
+
+def test_join_picks_the_wider_dtype():
+    assert join(Dtype(name="int16"), Dtype(name="int64")).name == "int64"
+    assert join(Dtype(name="int64"), Dtype(name="int16")).name == "int64"
+    assert (
+        join(Dtype(name="float16"), Dtype(name="int32")).name == "int32"
+    )
+
+
+def test_join_is_commutative_and_idempotent():
+    a, b = Dtype(name="int32"), Dtype(name="float64")
+    assert join(a, b) == join(b, a)
+    assert join(a, a) == a
+
+
+def test_unknown_is_the_identity_and_symbolic_absorbs():
+    a = Dtype(name="int16")
+    assert join(a, UNKNOWN) == a
+    assert join(UNKNOWN, a) == a
+    assert join(a, SYMBOLIC).symbolic
+    assert join(SYMBOLIC, UNKNOWN).symbolic
+
+
+def test_capacity_ordering_matches_the_dp_bound():
+    # The whole point of the rule: these cannot hold a DP value.
+    for narrow in ("int8", "int16", "float16"):
+        assert Dtype(name=narrow).capacity < DP_VALUE_BOUND
+    for wide in ("int32", "int64", "float64"):
+        assert Dtype(name=wide).capacity > DP_VALUE_BOUND
+
+
+# ---------------------------------------------------------------------------
+# KER006 through the linter.
+# ---------------------------------------------------------------------------
+
+
+def test_ker006_fires_on_out_kwarg_narrowing():
+    tree = {
+        "repro.align.packed": """
+        import numpy as np
+
+        def sweep(n):
+            wide = np.zeros(n, dtype=np.int64)
+            row = np.zeros(n, dtype=np.int16)  # repro: allow[KER001] packed demo
+            np.add(wide, wide, out=row)
+            return row
+        """,
+    }
+    findings = lint_tree(tree, select=["KER006"], flow=True)
+    assert rules_of(findings) == ["KER006"]
+    assert "int64" in findings[0].message
+    assert "int16" in findings[0].message
+
+
+def test_ker006_fires_on_slice_store_narrowing():
+    tree = {
+        "repro.align.packed": """
+        import numpy as np
+
+        def shift(n):
+            wide = np.zeros(n, dtype=np.int64)
+            row = np.zeros(n, dtype=np.float16)  # repro: allow[KER001] packed demo
+            row[1:] = wide[:-1]
+            return row
+        """,
+    }
+    findings = lint_tree(tree, select=["KER006"], flow=True)
+    assert rules_of(findings) == ["KER006"]
+
+
+def test_ker006_quiet_on_kernel_dtype_symbolic_storage():
+    tree = {
+        "repro.align.kern": """
+        import numpy as np
+        from repro.align._dp import kernel_dtype
+
+        def sweep(scoring, n):
+            dtype = kernel_dtype(scoring, n)
+            wide = np.zeros(n, dtype=np.int64)
+            row = np.zeros(n, dtype=dtype)
+            np.add(wide, wide, out=row)
+            row[1:] = wide[:-1]
+            return row
+        """,
+    }
+    # kernel_dtype() proved the bound before narrowing: sanctioned.
+    assert lint_tree(tree, select=["KER006"], flow=True) == []
+
+
+def test_ker006_quiet_on_widening_store():
+    tree = {
+        "repro.align.widen": """
+        import numpy as np
+
+        def up(n):
+            narrow = np.zeros(n, dtype=np.uint8)
+            wide = np.zeros(n, dtype=np.int64)
+            np.add(narrow, narrow, out=wide)
+            wide[1:] = narrow[:-1]
+            return wide
+        """,
+    }
+    assert lint_tree(tree, select=["KER006"], flow=True) == []
+
+
+def test_ker006_quiet_outside_align_and_in_reference_oracle():
+    body = """
+    import numpy as np
+
+    def sweep(n):
+        wide = np.zeros(n, dtype=np.int64)
+        row = np.zeros(n, dtype=np.int16)
+        np.add(wide, wide, out=row)
+        return row
+    """
+    assert (
+        lint_tree({"repro.seed.other": body}, select=["KER006"], flow=True)
+        == []
+    )
+    assert (
+        lint_tree(
+            {"repro.align._reference": body}, select=["KER006"], flow=True
+        )
+        == []
+    )
+
+
+def test_ker006_respects_line_suppression():
+    tree = {
+        "repro.align.packed": """
+        import numpy as np
+
+        def sweep(n):
+            wide = np.zeros(n, dtype=np.int64)
+            row = np.zeros(n, dtype=np.int16)  # repro: allow[KER001] packed demo
+            np.add(wide, wide, out=row)  # repro: allow[KER006] inputs pre-clamped to i16
+            return row
+        """,
+    }
+    assert lint_tree(tree, select=["KER006"], flow=True) == []

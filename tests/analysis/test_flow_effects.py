@@ -1,0 +1,202 @@
+"""Effect inference: intrinsic detection, fixed-point convergence on
+(mutual) recursion, sanctioned layers, and chain reconstruction."""
+
+from .helpers import flow_context
+
+
+def kinds(ctx, qualname):
+    return ctx.effects.effect_kinds(qualname)
+
+
+def test_intrinsic_kinds_are_detected():
+    ctx = flow_context(
+        {
+            "repro.core.fx": """
+            import os
+            import time
+            import numpy as np
+
+            _CACHE = {}
+
+            def roll():
+                return np.random.default_rng()
+
+            def tick():
+                return time.time()
+
+            def shout(x):
+                print(x)
+
+            def dump(path, data):
+                with open(path, "w") as fh:
+                    fh.write(data)
+
+            def stash(key, value):
+                _CACHE[key] = value
+
+            def peek():
+                return os.environ["HOME"]
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.fx.roll") == ("rng",)
+    assert kinds(ctx, "repro.core.fx.tick") == ("clock",)
+    assert kinds(ctx, "repro.core.fx.shout") == ("stdout",)
+    assert kinds(ctx, "repro.core.fx.dump") == ("fs-write",)
+    assert kinds(ctx, "repro.core.fx.stash") == ("global-mut",)
+    assert kinds(ctx, "repro.core.fx.peek") == ("env",)
+
+
+def test_seeded_rng_is_not_an_effect():
+    ctx = flow_context(
+        {
+            "repro.core.seeded": """
+            import numpy as np
+
+            def roll(seed):
+                return np.random.default_rng(seed)
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.seeded.roll") == ()
+
+
+def test_effects_propagate_through_call_chain():
+    ctx = flow_context(
+        {
+            "repro.core.chain": """
+            import time
+
+            def leaf():
+                return time.time()
+
+            def mid():
+                return leaf()
+
+            def top():
+                return mid()
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.chain.top") == ("clock",)
+    chain = ctx.effects.describe_chain("repro.core.chain.top", "clock")
+    assert "repro.core.chain.mid" in chain
+    assert "time.time" in chain
+
+
+def test_direct_recursion_converges():
+    ctx = flow_context(
+        {
+            "repro.core.rec": """
+            import time
+
+            def spin(n):
+                if n == 0:
+                    return time.time()
+                return spin(n - 1)
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.rec.spin") == ("clock",)
+
+
+def test_mutual_recursion_converges_and_shares_effects():
+    ctx = flow_context(
+        {
+            "repro.core.mut": """
+            import numpy as np
+
+            def ping(n):
+                if n == 0:
+                    return np.random.default_rng()
+                return pong(n - 1)
+
+            def pong(n):
+                return ping(n - 1)
+
+            def clean(n):
+                if n == 0:
+                    return 0
+                return clean_twin(n - 1)
+
+            def clean_twin(n):
+                return clean(n - 1)
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.mut.ping") == ("rng",)
+    assert kinds(ctx, "repro.core.mut.pong") == ("rng",)
+    # A pure mutually-recursive pair must converge to no effects,
+    # not loop or over-approximate.
+    assert kinds(ctx, "repro.core.mut.clean") == ()
+    assert kinds(ctx, "repro.core.mut.clean_twin") == ()
+
+
+def test_sanctioned_layer_absorbs_its_effects():
+    ctx = flow_context(
+        {
+            "repro.obs.tracer": """
+            import time
+
+            def span_start():
+                return time.monotonic()
+            """,
+            "repro.core.user": """
+            from repro.obs.tracer import span_start
+
+            def work():
+                return span_start()
+            """,
+        }
+    )
+    # The clock is sanctioned inside repro.obs, so neither the tracer
+    # nor its caller carries the effect — but the site is recorded.
+    assert kinds(ctx, "repro.obs.tracer.span_start") == ()
+    assert kinds(ctx, "repro.core.user.work") == ()
+    sanctioned = ctx.effects.sanctioned["repro.obs.tracer.span_start"]
+    assert [s.kind for s in sanctioned] == ["clock"]
+
+
+def test_base_rule_suppression_sanctions_the_effect():
+    ctx = flow_context(
+        {
+            "repro.core.timed": """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[DET003] log timestamp only
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.timed.stamp") == ()
+
+
+def test_global_declaration_assignment_is_global_mut():
+    ctx = flow_context(
+        {
+            "repro.core.glob": """
+            _STATE = 0
+
+            def bump():
+                global _STATE
+                _STATE = _STATE + 1
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.glob.bump") == ("global-mut",)
+
+
+def test_local_shadow_of_module_name_is_not_global_mut():
+    ctx = flow_context(
+        {
+            "repro.core.shadow": """
+            table = {}
+
+            def pure():
+                table = {}
+                table["k"] = 1
+                return table
+            """,
+        }
+    )
+    assert kinds(ctx, "repro.core.shadow.pure") == ()

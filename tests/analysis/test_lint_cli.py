@@ -78,3 +78,70 @@ def test_syntax_error_reports_parse_finding(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "PARSE" in out
+
+
+def test_flow_flag_clean_tree(capsys):
+    code = analysis_main([str(SRC), "--flow"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_graph_export_json_and_dot(tmp_path, capsys):
+    json_out = tmp_path / "graph.json"
+    code = analysis_main([str(SRC), "--graph", str(json_out)])
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(json_out.read_text())
+    assert payload["version"] == 1
+    assert payload["counts"]["functions"] > 100
+    assert payload["counts"]["edges"] > payload["counts"]["functions"]
+
+    dot_out = tmp_path / "graph.dot"
+    code = analysis_main([str(SRC), "--graph", str(dot_out)])
+    capsys.readouterr()
+    assert code == 0
+    dot = dot_out.read_text()
+    assert dot.startswith("digraph callgraph {")
+    assert dot.rstrip().endswith("}")
+
+
+def test_baseline_flag_gates_only_new_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+    baseline = tmp_path / "findings.json"
+
+    code = analysis_main([str(bad), "--format", "json"])
+    baseline.write_text(capsys.readouterr().out)
+    assert code == 1
+
+    code = analysis_main([str(bad), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 baselined" in out
+
+    bad.write_text(
+        "import numpy as np\nimport time\n"
+        "x = np.random.rand(3)\ny = time.time()\n"
+    )
+    code = analysis_main([str(bad), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET003" in out
+    assert "DET002" not in out
+
+
+def test_missing_baseline_fails_with_exit_two(tmp_path, capsys):
+    code = analysis_main(
+        [str(SRC), "--baseline", str(tmp_path / "nope.json")]
+    )
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_list_rules_includes_flow_rules(capsys):
+    code = analysis_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in ("FLOW001", "FLOW002", "FLOW003", "KER006"):
+        assert rule_id in out
