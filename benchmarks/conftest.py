@@ -198,6 +198,7 @@ def write_bench_pipeline(runs, path=BENCH_PIPELINE_PATH):
         "fault_overhead",
         "obs_overhead",
         "lint",
+        "serve",
     )
     for carried in carried_sections:
         if carried in previous:

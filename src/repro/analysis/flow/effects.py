@@ -411,6 +411,9 @@ _SANCTIONED_LAYERS: Dict[str, Tuple[str, ...]] = {
     "repro.obs": ("clock", "stdout", "fs-write"),
     "repro.cli": ("stdout", "fs-write"),
     "repro.analysis": ("stdout",),
+    # The daemon's whole job is effects: journaling to disk, timing
+    # jobs against deadlines, logging lifecycle transitions.
+    "repro.service": ("clock", "stdout", "fs-write"),
 }
 
 

@@ -53,6 +53,7 @@ RANKS: Dict[str, int] = {
     "hw": 6,
     "parallel": 6,
     "cli": 7,
+    "service": 7,  # serving daemon orchestrates every lower layer
     "repro": 7,  # root package modules (repro/__init__.py)
 }
 

@@ -780,6 +780,119 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the alignment service daemon (crash-safe job queue)",
+    )
+    parser.add_argument(
+        "state_dir",
+        type=Path,
+        help="service state directory (job journal, per-job "
+        "checkpoints and outputs); restart with the same directory "
+        "to resume journaled work",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8753,
+        help="listen port (0 binds an ephemeral port; see --port-file)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes shared by every job "
+        "(output is byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--index-cache",
+        type=Path,
+        default=None,
+        help="persistent seed-index cache directory shared across jobs",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=16,
+        help="bounded admission: jobs beyond this are shed with "
+        "HTTP 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="workers publish liveness beats at this interval; the "
+        "sentinel escalates workers silent past the deadline",
+    )
+    parser.add_argument(
+        "--heartbeat-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="silence that marks a worker hung "
+        "(default: 4x the heartbeat interval)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-dispatches per work unit before serial fallback",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt deadline in seconds for dispatched work units",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SEED[:kind=rate,...]",
+        default=None,
+        help="deterministic chaos testing, including kind `hang` "
+        "(see repro.resilience)",
+    )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (CI rendezvous)",
+    )
+    parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args) -> int:
+    from .service import ServeConfig, ServeDaemon
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.max_queued < 1:
+        raise SystemExit("--max-queued must be at least 1")
+    if args.inject_faults is not None:
+        try:
+            FaultPlan.parse(args.inject_faults)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        index_cache=args.index_cache,
+        max_queued=args.max_queued,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_deadline=args.heartbeat_deadline,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        inject_faults=args.inject_faults,
+        port_file=args.port_file,
+    )
+    daemon = ServeDaemon(config, log=print)
+    return daemon.serve_forever()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -796,6 +909,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace(subparsers)
     _add_bench(subparsers)
     _add_lint(subparsers)
+    _add_serve(subparsers)
     return parser
 
 

@@ -57,6 +57,7 @@ from .export import (
 )
 from .bus import (
     BusPublisher,
+    HeartbeatMonitor,
     TelemetryBus,
     current_publisher,
     install_publisher,
@@ -91,6 +92,7 @@ __all__ = [
     "write_chrome_trace",
     "write_run_report",
     "BusPublisher",
+    "HeartbeatMonitor",
     "TelemetryBus",
     "current_publisher",
     "install_publisher",

@@ -32,6 +32,19 @@ publisher that :func:`current_publisher` exposes to task functions.  In
 the parent process :func:`current_publisher` returns None, which is
 exactly what the serial-fallback path needs: a task re-run in-process
 falls back to returning its spans inline.
+
+Liveness: when the pool initializer is given a heartbeat interval,
+every worker starts a daemon thread publishing **beat** events.  Beats
+are deliberately out-of-band — they carry no sequence number, never
+count toward ``sent``/``lost``, and so can never perturb the zero-loss
+delivery accounting.  The parent stamps each beat with *its own*
+monotonic clock on receipt (skew-free across processes);
+:meth:`TelemetryBus.stale_workers` then answers "which workers have
+gone silent past the deadline", which is how a SIGSTOP'd or
+infinitely-looping worker (threads frozen → beats stop) is detected
+even though its process is still technically alive.
+:class:`HeartbeatMonitor` packages that check for the resilient
+dispatcher; the clock stays inside ``repro.obs`` where it belongs.
 """
 
 from __future__ import annotations
@@ -49,10 +62,14 @@ from .progress import NO_PROGRESS
 __all__ = [
     "BusEndpoint",
     "BusPublisher",
+    "HeartbeatMonitor",
     "TelemetryBus",
     "clear_publisher",
     "current_publisher",
     "install_publisher",
+    "start_heartbeat",
+    "stop_heartbeat",
+    "suspend_heartbeat",
     "worker_init",
 ]
 
@@ -118,6 +135,21 @@ class BusPublisher:
         payload = sample.as_dict() if hasattr(sample, "as_dict") else sample
         return self.emit("resource", dict(payload))
 
+    def emit_beat(self) -> bool:
+        """Publish an out-of-band liveness beat.
+
+        Beats bypass the sequence/loss accounting entirely (sentinel
+        sequence number ``-1``): they are emitted from a separate
+        daemon thread, so sharing the ``sent`` counter would race the
+        task thread, and a beat dropped by a full queue must not count
+        as a lost telemetry event.
+        """
+        try:
+            self.queue.put_nowait((self.pid, -1, "beat", None))
+        except queue_module.Full:
+            return False
+        return True
+
     def ack(self, busy: float = 0.0) -> Dict[str, float]:
         """Delivery receipt a task returns beside its result."""
         return {
@@ -147,12 +179,71 @@ def clear_publisher() -> None:
     _PUBLISHER = None
 
 
+#: This process's heartbeat thread stop flag (workers only).
+_HEARTBEAT_STOP: Optional[threading.Event] = None
+_HEARTBEAT_THREAD: Optional[threading.Thread] = None
+
+
+def start_heartbeat(interval: float) -> bool:
+    """Start the liveness beat thread (idempotent; workers only).
+
+    Requires an installed publisher.  The thread is a daemon: a frozen
+    process (SIGSTOP) freezes it with everything else, which is exactly
+    the signal — beats stopping — the parent's sentinel watches for.
+    """
+    global _HEARTBEAT_STOP, _HEARTBEAT_THREAD
+    publisher = current_publisher()
+    if publisher is None or interval <= 0 or _HEARTBEAT_THREAD is not None:
+        return False
+    stop = threading.Event()
+
+    def run() -> None:
+        publisher.emit_beat()
+        while not stop.wait(interval):
+            publisher.emit_beat()
+
+    thread = threading.Thread(
+        target=run, name="repro-heartbeat", daemon=True
+    )
+    _HEARTBEAT_STOP = stop
+    _HEARTBEAT_THREAD = thread
+    thread.start()
+    return True
+
+
+def suspend_heartbeat() -> None:
+    """Silence this process's beats without touching anything else.
+
+    Used by the injected ``hang`` fault: a worker that stops beating
+    *and* never returns is indistinguishable from a wedged one, so the
+    parent's heartbeat sentinel can be exercised deterministically.
+    """
+    if _HEARTBEAT_STOP is not None:
+        _HEARTBEAT_STOP.set()
+
+
+def stop_heartbeat() -> None:
+    """Stop and forget the beat thread (teardown/tests)."""
+    global _HEARTBEAT_STOP, _HEARTBEAT_THREAD
+    if _HEARTBEAT_STOP is not None:
+        _HEARTBEAT_STOP.set()
+    thread = _HEARTBEAT_THREAD
+    if thread is not None:
+        thread.join(timeout=1.0)
+    _HEARTBEAT_STOP = None
+    _HEARTBEAT_THREAD = None
+
+
 def worker_init(
-    endpoint: Optional[BusEndpoint], profile_dir: Optional[str]
+    endpoint: Optional[BusEndpoint],
+    profile_dir: Optional[str],
+    heartbeat_interval: Optional[float] = None,
 ) -> None:
     """Process-pool initializer: telemetry publisher + optional profiler."""
     if endpoint is not None:
         install_publisher(endpoint)
+        if heartbeat_interval:
+            start_heartbeat(heartbeat_interval)
     if profile_dir:
         from .profiling import install_worker_profile
 
@@ -199,6 +290,10 @@ class TelemetryBus:
         self._last_done: Dict[int, float] = {}
         self._funnel: Dict[str, float] = {}
         self._worker_funnels: Dict[int, Dict[str, float]] = {}
+        #: pid -> parent-clock receipt time of the latest beat.
+        self._beat_at: Dict[int, float] = {}
+        self._beat_counts: Dict[int, int] = {}
+        self._clock: Callable[[], float] = monotonic
         self._pending_spans: List[Tuple[int, int, Dict]] = []
         self._unit_base: Dict[str, float] = {}
         self._pump: Optional[threading.Thread] = None
@@ -232,6 +327,13 @@ class TelemetryBus:
     # -- event intake ------------------------------------------------
     def _route(self, event) -> None:
         pid, seq, kind, payload = event
+        if kind == "beat":
+            # Out-of-band: beats carry no sequence number and must not
+            # disturb the received/gap/zero-loss accounting.
+            with self._lock:
+                self._beat_at[pid] = self._clock()
+                self._beat_counts[pid] = self._beat_counts.get(pid, 0) + 1
+            return
         with self._lock:
             self.events_received += 1
             self._received[pid] = self._received.get(pid, 0) + 1
@@ -345,6 +447,39 @@ class TelemetryBus:
                 max(0.0, end - done) for done in self._last_done.values()
             )
 
+    # -- liveness ----------------------------------------------------
+    def worker_beats(self) -> Dict[int, float]:
+        """pid -> parent-clock receipt time of the latest beat."""
+        self._drain_nowait()
+        with self._lock:
+            return dict(self._beat_at)
+
+    def beat_counts(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._beat_counts)
+
+    def stale_workers(self, deadline: float) -> List[int]:
+        """Workers whose last beat is older than ``deadline`` seconds.
+
+        Drains the queue first so a beat sitting in transit never reads
+        as silence.  Only workers that have beaten at least once are
+        considered: absence of any beat means the worker has not
+        finished initialising (or beats are off), not that it hung.
+        """
+        self._drain_nowait()
+        now = self._clock()
+        with self._lock:
+            return sorted(
+                pid
+                for pid, last in self._beat_at.items()
+                if now - last > deadline
+            )
+
+    def reset_beats(self) -> None:
+        """Forget all beat history (pool rebuilt / escalation re-arm)."""
+        with self._lock:
+            self._beat_at.clear()
+
     # -- pump (optional background routing) --------------------------
     def start_pump(self, interval: float = 0.05) -> None:
         """Route metric/progress events between polls on a thread.
@@ -446,3 +581,47 @@ class TelemetryBus:
             self._queue.join_thread()
         except (OSError, ValueError):  # pragma: no cover - teardown race
             pass
+
+
+class HeartbeatMonitor:
+    """Liveness sentinel handed to the resilient dispatcher.
+
+    Wraps a :class:`TelemetryBus` with a staleness deadline: the
+    dispatcher waits for results in ``poll_interval`` slices and asks
+    :meth:`overdue` between slices; True means some worker has gone
+    silent past the deadline and the hang-recovery ladder should run.
+    All clock reads stay inside :mod:`repro.obs` — callers only see
+    booleans, so pipeline output can never depend on the clock.
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        deadline: float,
+        poll_interval: Optional[float] = None,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("heartbeat deadline must be positive")
+        self.bus = bus
+        self.deadline = deadline
+        self.poll_interval = (
+            poll_interval if poll_interval else max(0.01, deadline / 4.0)
+        )
+        self.detections = 0
+
+    def overdue(self) -> bool:
+        """Whether any beating worker has gone silent past the deadline."""
+        stale = self.bus.stale_workers(self.deadline)
+        if stale:
+            self.detections += 1
+            return True
+        return False
+
+    def escalated(self) -> None:
+        """The dispatcher acted on a detection; re-arm for the retry.
+
+        Clears beat history so the next :meth:`overdue` answers about
+        the *new* attempt's workers — a still-frozen worker simply goes
+        stale again and the ladder escalates one more rung.
+        """
+        self.bus.reset_beats()

@@ -36,7 +36,10 @@ class TelemetryOptions:
     ``stream=False`` disables the bus even for traced parallel runs
     (workers then return spans inline with their results, the pre-bus
     behaviour).  ``profile_dir`` turns on cProfile capture in every
-    worker via the pool initializer.
+    worker via the pool initializer.  ``heartbeat_interval`` (seconds)
+    makes every pool worker publish liveness beats over the bus — the
+    serving daemon's hang sentinel reads them through a
+    :class:`~repro.obs.bus.HeartbeatMonitor`.
     """
 
     progress: object = NO_PROGRESS
@@ -44,6 +47,7 @@ class TelemetryOptions:
     profile_dir: Union[str, Path, None] = None
     stream: bool = True
     bus: Optional[TelemetryBus] = None
+    heartbeat_interval: Optional[float] = None
 
     def ensure_bus(
         self,

@@ -239,7 +239,8 @@ class ExecutionEngine:
             return None, ()
         from ..obs.bus import worker_init
 
-        return worker_init, (endpoint, profile_dir)
+        heartbeat = getattr(telemetry, "heartbeat_interval", None)
+        return worker_init, (endpoint, profile_dir, heartbeat)
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._closed:
@@ -254,16 +255,30 @@ class ExecutionEngine:
             )
         return self._executor
 
-    def rebuild(self) -> None:
+    def rebuild(self, terminate: bool = False) -> None:
         """Replace a (typically broken) executor with a fresh pool.
 
         Shared-memory blocks belong to this process, not the pool, so
         they survive the rebuild; new workers simply re-attach.  The
         next :meth:`submit` lazily constructs the replacement pool.
+
+        ``terminate=True`` force-kills the old pool's worker processes
+        first.  Required for *hung* (not crashed) workers: a wedged or
+        SIGSTOP'd worker never drains its queue, so without the kill the
+        executor's manager thread — and eventually ``close()`` or
+        interpreter shutdown — would wait on it forever.  SIGKILL acts
+        even on a stopped process.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
         if self._executor is not None:
+            if terminate:
+                processes = getattr(self._executor, "_processes", None)
+                for process in tuple((processes or {}).values()):
+                    try:
+                        process.kill()
+                    except (OSError, ValueError, AttributeError):
+                        pass  # pragma: no cover - already gone
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 

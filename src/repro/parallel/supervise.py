@@ -41,6 +41,7 @@ from ..resilience.faults import (
     InjectedFault,
     injected_task_error,
     injected_worker_crash,
+    injected_worker_hang,
 )
 from ..resilience.policy import ResilienceOptions, backoff_delay
 
@@ -48,6 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import ExecutionEngine
 
 __all__ = ["ResilientDispatcher", "Ticket"]
+
+
+class _WorkerHang(Exception):
+    """Internal signal: the liveness sentinel declared a worker hung."""
 
 
 class Ticket:
@@ -117,6 +122,11 @@ class ResilientDispatcher:
             ticket.future = self._engine.submit(
                 injected_task_error, ticket.key
             )
+        elif plan is not None and plan.decide(
+            "hang", ticket.key, ticket.attempt
+        ):
+            stats.inject("hang")
+            ticket.future = self._engine.submit(injected_worker_hang)
         else:
             ticket.future = self._engine.submit(ticket.fn, *ticket.args)
 
@@ -143,21 +153,68 @@ class ResilientDispatcher:
     def poll(self, ticket: Ticket) -> bool:
         """Whether the ticket's current attempt has settled (no block).
 
-        Purely advisory, for eager in-order replay in the streaming
+        Advisory, for eager in-order replay in the streaming
         coordinator: True means :meth:`result` will not wait on the
-        healthy-path future.  Recovery still runs inside
-        :meth:`result` — a future settled with an exception polls True
-        and drives the retry/rebuild/fallback ladder there, and an
-        injected timeout may still make :meth:`result` retry.
+        healthy-path future.  A future settled with a *task* exception
+        still polls True and drives the retry/rebuild/fallback ladder
+        inside :meth:`result`, and an injected timeout may still make
+        :meth:`result` retry.
+
+        One recovery action does run here: a future settled with
+        ``BrokenProcessPool`` means a worker died while we were not
+        looking, and every outstanding future died with it.  Surfacing
+        that as "settled" would make a streamed caller drain a corpse
+        — so, exactly as :meth:`submit` does for dispatch-time
+        breakage, the pool is rebuilt and every outstanding ticket
+        re-dispatched immediately (attempts unchanged: no deadline or
+        task error was observed).  A serving loop polls far more often
+        than it submits, so this is where asynchronous worker death is
+        usually discovered first.
         """
         future = ticket.future
-        return future is not None and future.done()
+        if future is None or not future.done():
+            return False
+        if not future.cancelled():
+            error = future.exception(timeout=0)
+            if isinstance(error, BrokenProcessPool):
+                self._rebuild_and_redispatch()
+                future = ticket.future
+                return future is not None and future.done()
+        return True
+
+    def _await(self, ticket: Ticket, monitor, timeout: Optional[float]):
+        """Wait for the future, watching worker liveness between slices.
+
+        Without a monitor this is a plain ``result(timeout)``.  With
+        one, the wait proceeds in ``poll_interval`` slices; between
+        slices the monitor is asked whether any beating worker has gone
+        silent past its deadline, which raises :class:`_WorkerHang` —
+        the only way a SIGSTOP'd or infinitely-looping worker (which
+        neither errors nor breaks the pool) ever surfaces.
+        """
+        if monitor is None:
+            return ticket.future.result(timeout=timeout)
+        slice_seconds = monitor.poll_interval
+        if timeout is not None:
+            slice_seconds = min(slice_seconds, timeout)
+        waited = 0.0
+        while True:
+            try:
+                return ticket.future.result(timeout=slice_seconds)
+            except FutureTimeout:
+                if monitor.overdue():
+                    ticket.future.cancel()
+                    raise _WorkerHang(ticket.key) from None
+                waited += slice_seconds
+                if timeout is not None and waited >= timeout:
+                    raise
 
     def result(self, ticket: Ticket, tracer=NULL_TRACER):
         """Block for a ticket's result, driving the recovery ladder."""
         policy = self.options.policy
         plan = self.options.fault_plan
         stats = self.options.stats
+        monitor = self.options.liveness
         while True:
             cause = None
             if plan is not None and plan.decide(
@@ -169,9 +226,11 @@ class ResilientDispatcher:
                 cause = "timeout"
             else:
                 try:
-                    value = ticket.future.result(timeout=policy.timeout)
+                    value = self._await(ticket, monitor, policy.timeout)
                 except FutureTimeout:
                     cause = "timeout"
+                except _WorkerHang:
+                    cause = "hang"
                 except BrokenProcessPool:
                     cause = "broken_pool"
                 except InjectedFault:
@@ -188,6 +247,16 @@ class ResilientDispatcher:
             ticket.attempt += 1
             if cause == "timeout":
                 stats.timeouts += 1
+            if cause == "hang":
+                # A wedged worker cannot be joined or reasoned with:
+                # terminate it, rebuild the pool, and re-arm the
+                # sentinel so a *still*-frozen replacement escalates
+                # again on the next attempt.
+                stats.hangs += 1
+                stats.pool_rebuilds += 1
+                self._engine.rebuild(terminate=True)
+                if monitor is not None:
+                    monitor.escalated()
             if cause == "broken_pool":
                 stats.pool_rebuilds += 1
                 self._engine.rebuild()
@@ -215,7 +284,7 @@ class ResilientDispatcher:
                 delay = backoff_delay(policy, ticket.attempt, ticket.key)
                 if delay > 0:
                     self._sleep(delay)
-                if cause == "broken_pool":
+                if cause in ("broken_pool", "hang"):
                     # Every outstanding future died with the pool;
                     # re-dispatch them all onto the fresh executor.
                     for other in self._outstanding:

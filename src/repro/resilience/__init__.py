@@ -39,6 +39,7 @@ from .faults import (
     corrupt_file,
     injected_task_error,
     injected_worker_crash,
+    injected_worker_hang,
 )
 from .policy import (
     RecoveryStats,
@@ -65,6 +66,7 @@ __all__ = [
     "corrupt_file",
     "injected_task_error",
     "injected_worker_crash",
+    "injected_worker_hang",
     "sequences_digest",
     "stable_fraction",
 ]

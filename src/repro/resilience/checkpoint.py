@@ -131,7 +131,22 @@ class RunManifest:
     def load(cls, path: Union[str, Path]) -> "RunManifest":
         """Parse an existing journal, skipping torn/corrupt records."""
         path = Path(path)
-        lines = path.read_text().splitlines()
+        raw = path.read_bytes()
+        torn_tail = 0
+        if raw and not raw.endswith(b"\n"):
+            # The crash interrupted the final write mid-line.  Chop the
+            # torn bytes now: they can never parse, and leaving them in
+            # place would make the next `record()` append continue the
+            # partial line — merging a good record into garbage that a
+            # second crash-and-resume would then skip.
+            keep = raw.rfind(b"\n") + 1
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+            raw = raw[:keep]
+            torn_tail = 1
+        lines = raw.decode("utf-8").splitlines()
         if not lines:
             raise ManifestError(f"{path}: empty manifest")
         try:
@@ -146,6 +161,7 @@ class RunManifest:
                 f"{header.get('version')!r}"
             )
         manifest = cls(path, header)
+        manifest.skipped_records = torn_tail
         for line in lines[1:]:
             try:
                 record = json.loads(line)

@@ -24,11 +24,20 @@ Fault kinds:
   queues hold producers back (backpressure) without changing output.
   Never part of :data:`DEFAULT_RATES`: stalls only slow a run down, so
   they fire only when a spec names them explicitly.
+* ``hang``    — the dispatched batch is replaced by a task that
+  silences its worker's heartbeat and sleeps forever, modelling a
+  wedged (SIGSTOP'd, deadlocked) worker that neither crashes nor
+  returns.  Only detectable by liveness supervision, which is the
+  point: it proves the heartbeat sentinel and its escalation ladder.
+  Never part of :data:`DEFAULT_RATES` — without a
+  :class:`~repro.obs.bus.HeartbeatMonitor` (or a task timeout) on the
+  run, a hang would block collection indefinitely.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
@@ -42,10 +51,11 @@ __all__ = [
     "corrupt_file",
     "injected_task_error",
     "injected_worker_crash",
+    "injected_worker_hang",
 ]
 
 #: Every fault kind a plan may schedule.
-FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "stall")
+FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "stall", "hang")
 
 #: Rates used when a spec names only a seed (``--inject-faults 7``).
 DEFAULT_RATES: Dict[str, float] = {
@@ -128,6 +138,22 @@ def injected_worker_crash() -> None:
     re-dispatch every in-flight batch.
     """
     os._exit(3)
+
+
+def injected_worker_hang() -> None:
+    """Wedge the current worker: stop beating, then sleep forever.
+
+    Submitted *in place of* a real batch when the plan schedules a
+    ``hang``.  The heartbeat must be silenced explicitly — the beat
+    thread is a separate daemon thread that would otherwise keep
+    beating right through this sleep, hiding the hang from the
+    sentinel (a real SIGSTOP freezes every thread at once).
+    """
+    from ..obs.bus import suspend_heartbeat
+
+    suspend_heartbeat()
+    while True:  # pragma: no cover - only ever killed from outside
+        time.sleep(3600)
 
 
 def injected_task_error(key: str) -> None:

@@ -87,6 +87,7 @@ class RecoveryStats:
 
     retries: int = 0
     timeouts: int = 0
+    hangs: int = 0
     pool_rebuilds: int = 0
     serial_fallbacks: int = 0
     resumed_units: int = 0
@@ -105,6 +106,7 @@ class RecoveryStats:
             (
                 self.retries,
                 self.timeouts,
+                self.hangs,
                 self.pool_rebuilds,
                 self.serial_fallbacks,
                 self.resumed_units,
@@ -116,6 +118,7 @@ class RecoveryStats:
         return {
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "hangs": self.hangs,
             "pool_rebuilds": self.pool_rebuilds,
             "serial_fallbacks": self.serial_fallbacks,
             "resumed_units": self.resumed_units,
@@ -127,6 +130,7 @@ class RecoveryStats:
     def merge(self, other: "RecoveryStats") -> None:
         self.retries += other.retries
         self.timeouts += other.timeouts
+        self.hangs += other.hangs
         self.pool_rebuilds += other.pool_rebuilds
         self.serial_fallbacks += other.serial_fallbacks
         self.resumed_units += other.resumed_units
@@ -140,8 +144,17 @@ class RecoveryStats:
 
 @dataclass
 class ResilienceOptions:
-    """One bundle threaded from the CLI down to engine and cache."""
+    """One bundle threaded from the CLI down to engine and cache.
+
+    ``liveness`` optionally carries a heartbeat sentinel (duck-typed;
+    concretely a :class:`~repro.obs.bus.HeartbeatMonitor`) exposing
+    ``poll_interval``, ``overdue()`` and ``escalated()``.  When set,
+    the dispatcher waits for results in slices and treats a silent
+    worker past the deadline as a ``hang``, escalating through
+    terminate-and-rebuild toward the serial fallback.
+    """
 
     policy: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: Optional["FaultPlan"] = None
     stats: RecoveryStats = field(default_factory=RecoveryStats)
+    liveness: Optional[object] = None

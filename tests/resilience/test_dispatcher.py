@@ -139,6 +139,74 @@ class TestRealFaults:
         assert stats.serial_fallbacks == 1
 
 
+class TestPollRecovery:
+    def test_poll_false_until_settled(self, engine):
+        dispatcher = make_dispatcher(engine)
+        ticket = dispatcher.submit(slow_identity, 1, key="slow")
+        assert not dispatcher.poll(ticket)
+        assert dispatcher.result(ticket) == 1
+
+    def test_poll_surfaces_broken_pool_and_redispatches(self, engine):
+        """Regression: a future settled with BrokenProcessPool must not
+        poll True — a streamed caller would then drain a dead pool.
+        poll() runs the same rebuild-and-redispatch submit() does."""
+        dispatcher = make_dispatcher(
+            engine, rates={"crash": 1.0}, max_retries=1
+        )
+        ticket = dispatcher.submit(double, 6, key="unit")
+        broken_future = ticket.future
+        # Wait for the injected crash to land (the future settles with
+        # BrokenProcessPool), without invoking any recovery path.
+        from concurrent.futures.process import BrokenProcessPool
+
+        error = broken_future.exception(timeout=30)
+        assert isinstance(error, BrokenProcessPool)
+        dispatcher.poll(ticket)
+        stats = dispatcher.options.stats
+        assert stats.pool_rebuilds >= 1
+        # Recovery replaced the dead future; no retry was charged (the
+        # substrate died, not the attempt).
+        assert ticket.future is not broken_future
+        assert ticket.attempt == 0
+        # The ladder still completes the work.
+        assert dispatcher.result(ticket) == 12
+        assert not dispatcher._outstanding
+
+
+class TestHangEscalation:
+    def test_hang_injection_escalates_through_the_sentinel(self):
+        """A SIGSTOP-style hang (worker alive, silent, never returns)
+        is invisible to futures; only the heartbeat sentinel sees it."""
+        from repro.obs import HeartbeatMonitor, TelemetryOptions
+        from repro.parallel import ResilientDispatcher
+
+        telemetry = TelemetryOptions(heartbeat_interval=0.05)
+        bus = telemetry.ensure_bus()
+        monitor = HeartbeatMonitor(bus, deadline=0.4)
+        options = ResilienceOptions(
+            policy=RetryPolicy(max_retries=1),
+            fault_plan=FaultPlan(seed=3, rates={"hang": 1.0}),
+            liveness=monitor,
+        )
+        with ExecutionEngine(
+            2, resilience=options, telemetry=telemetry
+        ) as engine:
+            dispatcher = ResilientDispatcher(
+                engine, options, sleep=lambda _: None
+            )
+            ticket = dispatcher.submit(double, 9, key="unit")
+            assert dispatcher.result(ticket) == 18
+        telemetry.close()
+        stats = options.stats
+        assert stats.hangs >= 1
+        assert monitor.detections >= 1
+        assert stats.pool_rebuilds >= 1
+        # Every attempt hangs (rate 1.0), so the budget exhausts into
+        # the serial fallback — correctness never depended on the pool.
+        assert stats.serial_fallbacks == 1
+        assert stats.injected_faults["hang"] >= 1
+
+
 class TestTracing:
     def test_recovery_spans_record_actions(self, engine):
         tracer = Tracer()

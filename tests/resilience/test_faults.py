@@ -4,6 +4,7 @@ import pytest
 
 from repro.resilience import (
     DEFAULT_RATES,
+    FAULT_KINDS,
     FaultPlan,
     corrupt_file,
 )
@@ -31,6 +32,17 @@ class TestFaultPlanParse:
     def test_rejects_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown fault kind"):
             FaultPlan.parse("1:meteor=0.5")
+
+    def test_hang_is_a_known_kind(self):
+        assert "hang" in FAULT_KINDS
+        plan = FaultPlan.parse("4:hang=0.5")
+        assert dict(plan.rates) == {"hang": 0.5}
+
+    def test_hang_is_not_in_default_rates(self):
+        # A bare seed must never schedule hangs: without a liveness
+        # sentinel a hung worker blocks until the task deadline, which
+        # default chaos runs do not set.
+        assert "hang" not in DEFAULT_RATES
 
 
 class TestFaultPlanDecide:

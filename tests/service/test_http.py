@@ -1,0 +1,136 @@
+"""The hand-rolled HTTP front-end: routing, parsing, error surfaces."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.client import ServeClient, ServeError
+from repro.service.http import HttpJsonServer
+
+
+@pytest.fixture
+def server():
+    seen = {}
+
+    def echo(match, body):
+        seen["body"] = body
+        return 200, {"echo": body}
+
+    def shed(match, body):
+        return 429, {"error": "full"}, {"Retry-After": "7"}
+
+    def boom(match, body):
+        raise RuntimeError("handler bug")
+
+    routes = [
+        ("POST", r"/echo", echo),
+        ("GET", r"/items/([a-z0-9-]+)", lambda m, b: (200, {"id": m.group(1)})),
+        ("POST", r"/shed", shed),
+        ("GET", r"/boom", boom),
+    ]
+    server = HttpJsonServer(routes)
+    server.seen = seen
+    port = server.start("127.0.0.1", 0)
+    client = ServeClient(port=port, timeout=5.0)
+    yield server, client
+    server.stop()
+
+
+class TestRouting:
+    def test_round_trip_json(self, server):
+        _server, client = server
+        status, payload, _headers = client.request(
+            "POST", "/echo", {"x": 1}
+        )
+        assert (status, payload) == (200, {"echo": {"x": 1}})
+
+    def test_path_captures(self, server):
+        _server, client = server
+        status, payload, _ = client.request("GET", "/items/abc-123")
+        assert (status, payload) == (200, {"id": "abc-123"})
+
+    def test_query_string_is_ignored_for_routing(self, server):
+        _server, client = server
+        status, payload, _ = client.request("GET", "/items/abc?verbose=1")
+        assert (status, payload) == (200, {"id": "abc"})
+
+    def test_unknown_path_is_404(self, server):
+        _server, client = server
+        status, payload, _ = client.request("GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        _server, client = server
+        status, _payload, _ = client.request("GET", "/echo")
+        assert status == 405
+
+
+class TestErrorSurfaces:
+    def test_retry_after_header_reaches_the_client(self, server):
+        _server, client = server
+        status, _payload, headers = client.request("POST", "/shed", {})
+        assert status == 429
+        assert headers.get("Retry-After") == "7"
+
+    def test_typed_error_carries_the_backoff_headers(self, server):
+        _server, client = server
+        with pytest.raises(ServeError) as excinfo:
+            client._checked("POST", "/shed", {})
+        assert excinfo.value.status == 429
+        assert excinfo.value.headers.get("Retry-After") == "7"
+
+    def test_handler_exception_is_500_not_a_crash(self, server):
+        _server, client = server
+        status, payload, _ = client.request("GET", "/boom")
+        assert status == 500
+        assert "error" in payload
+        # The server survived the bad handler.
+        status, _, _ = client.request("GET", "/items/ok")
+        assert status == 200
+
+    def test_malformed_json_body_is_400(self, server):
+        srv, _client = server
+        connection = http.client.HTTPConnection("127.0.0.1", srv.port)
+        try:
+            connection.request(
+                "POST",
+                "/echo",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_oversized_body_is_413(self, server):
+        srv, _client = server
+        connection = http.client.HTTPConnection("127.0.0.1", srv.port)
+        try:
+            connection.putrequest("POST", "/echo")
+            connection.putheader("Content-Length", str(10 << 20))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+        finally:
+            connection.close()
+
+    def test_client_raises_typed_error_on_4xx(self, server):
+        _server, client = server
+        with pytest.raises(ServeError) as excinfo:
+            client._checked("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestErrorResponsesAreJson:
+    def test_404_body_parses(self, server):
+        srv, _client = server
+        connection = http.client.HTTPConnection("127.0.0.1", srv.port)
+        try:
+            connection.request("GET", "/definitely/not/there")
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert "error" in body
+        finally:
+            connection.close()

@@ -1,0 +1,106 @@
+"""Weighted-fair scheduling: determinism, fairness, bounded admission."""
+
+import pytest
+
+from repro.service import Job, WeightedFairScheduler
+
+
+def make_job(seq, priority="default"):
+    return Job(
+        id=f"job-{seq:06d}",
+        kind="align",
+        spec={"target": "t.fa", "query": "q.fa"},
+        priority=priority,
+        seq=seq,
+    )
+
+
+def drain_order(scheduler):
+    order = []
+    while len(scheduler):
+        order.append(scheduler.take(timeout=0).priority)
+    return order
+
+
+class TestOrdering:
+    def test_fifo_within_one_class(self):
+        scheduler = WeightedFairScheduler(max_queued=8)
+        jobs = [make_job(i) for i in range(5)]
+        for job in jobs:
+            assert scheduler.offer(job)
+        taken = [scheduler.take(timeout=0).seq for _ in range(5)]
+        assert taken == [0, 1, 2, 3, 4]
+
+    def test_interactive_outweighs_batch(self):
+        scheduler = WeightedFairScheduler(max_queued=32)
+        for i in range(16):
+            scheduler.offer(
+                make_job(i, "interactive" if i % 2 else "batch")
+            )
+        order = drain_order(scheduler)
+        # All eight interactive jobs drain before the batch backlog
+        # finishes: an interactive job costs 1/8 virtual time, a batch
+        # job costs 1.
+        assert order.index("batch") == 0 or order[0] == "interactive"
+        last_interactive = max(
+            i for i, p in enumerate(order) if p == "interactive"
+        )
+        first_batch_tail = [p for p in order[last_interactive + 1:]]
+        assert first_batch_tail.count("batch") >= 6
+
+    def test_no_class_starves(self):
+        scheduler = WeightedFairScheduler(max_queued=64)
+        for i in range(24):
+            scheduler.offer(
+                make_job(i, "interactive" if i % 3 else "batch")
+            )
+        order = drain_order(scheduler)
+        assert order.count("batch") == 8
+        assert order.count("interactive") == 16
+
+    def test_order_is_deterministic(self):
+        def run():
+            scheduler = WeightedFairScheduler(max_queued=64)
+            for i in range(20):
+                priority = ("interactive", "default", "batch")[i % 3]
+                scheduler.offer(make_job(i, priority))
+            taken = []
+            while len(scheduler):
+                taken.append(scheduler.take(timeout=0).seq)
+            return taken
+
+        assert run() == run()
+
+
+class TestAdmission:
+    def test_bounded_admission_sheds(self):
+        scheduler = WeightedFairScheduler(max_queued=2)
+        assert scheduler.offer(make_job(0))
+        assert scheduler.offer(make_job(1))
+        assert not scheduler.offer(make_job(2))
+        assert scheduler.shed == 1
+        assert scheduler.depth() == 2
+
+    def test_rejects_nonsense_capacity(self):
+        with pytest.raises(ValueError):
+            WeightedFairScheduler(max_queued=0)
+
+    def test_take_timeout_returns_none(self):
+        scheduler = WeightedFairScheduler(max_queued=2)
+        assert scheduler.take(timeout=0.01) is None
+
+    def test_cancelled_jobs_are_skipped(self):
+        scheduler = WeightedFairScheduler(max_queued=4)
+        first, second = make_job(0), make_job(1)
+        scheduler.offer(first)
+        scheduler.offer(second)
+        first.state = "cancelled"
+        assert scheduler.take(timeout=0) is second
+
+    def test_drain_empties_in_tag_order(self):
+        scheduler = WeightedFairScheduler(max_queued=8)
+        jobs = [make_job(i) for i in range(3)]
+        for job in jobs:
+            scheduler.offer(job)
+        assert [job.seq for job in scheduler.drain()] == [0, 1, 2]
+        assert scheduler.depth() == 0
